@@ -1,0 +1,83 @@
+"""Shared machinery for the benchmark harness.
+
+Figures 5-9 and Table 2 all report on the same 36 simulations (six
+workloads x six machine configurations), so results are computed once
+per pytest session and cached here.  Every benchmark prints the rows or
+series of the table/figure it reproduces, alongside the paper's
+qualitative expectation, so the comparison lives in the output.
+
+Run lengths are scaled for the Python substrate (the paper simulated
+tens of millions of Alpha instructions per benchmark); EXPERIMENTS.md
+records the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple
+
+from repro.config import SimConfig
+from repro.sim import SimulationResult, baseline_config, paper_configs, simulate
+from repro.workloads import get_workload, workload_names
+
+#: Instructions simulated per run (after warm-up) and warm-up length.
+MAX_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", 60_000))
+WARMUP_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_WARMUP", 25_000))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", 1))
+
+#: Pointer-intensive benchmarks (the paper's averages exclude turb3d).
+POINTER_PROGRAMS = ("health", "burg", "deltablue", "gs", "sis")
+
+#: Configuration labels in figure order, Base first.
+CONFIG_LABELS = ("Base", "Stride", "2Miss-RR", "2Miss-Priority",
+                 "ConfAlloc-RR", "ConfAlloc-Priority")
+
+_cache: Dict[Tuple[str, str], SimulationResult] = {}
+
+
+def configs_by_label() -> Dict[str, SimConfig]:
+    labelled = {"Base": baseline_config()}
+    labelled.update(paper_configs())
+    return labelled
+
+
+def run(workload: str, label: str) -> SimulationResult:
+    """One cached simulation of ``workload`` under configuration ``label``."""
+    key = (workload, label)
+    if key not in _cache:
+        config = configs_by_label()[label]
+        _cache[key] = simulate(
+            config,
+            get_workload(workload, seed=SEED),
+            max_instructions=MAX_INSTRUCTIONS,
+            warmup_instructions=WARMUP_INSTRUCTIONS,
+            label=f"{workload}/{label}",
+        )
+    return _cache[key]
+
+
+def run_matrix() -> Dict[Tuple[str, str], SimulationResult]:
+    """All 36 runs of the main evaluation (Figures 5-9, Table 2)."""
+    for workload in workload_names():
+        for label in CONFIG_LABELS:
+            run(workload, label)
+    return dict(_cache)
+
+
+def run_custom(workload: str, label: str, config: SimConfig) -> SimulationResult:
+    """A cached run under an ad-hoc configuration (sweeps)."""
+    key = (workload, label)
+    if key not in _cache:
+        _cache[key] = simulate(
+            config,
+            get_workload(workload, seed=SEED),
+            max_instructions=MAX_INSTRUCTIONS,
+            warmup_instructions=WARMUP_INSTRUCTIONS,
+            label=f"{workload}/{label}",
+        )
+    return _cache[key]
+
+
+def speedup(workload: str, label: str) -> float:
+    """Percent speedup of ``label`` over Base for ``workload``."""
+    return run(workload, label).speedup_over(run(workload, "Base"))

@@ -1,0 +1,100 @@
+"""Ablation A (Sections 2.2/4.2): higher-order Markov gives little.
+
+The paper simulated higher-order Markov/context predictors and saw
+"little to no improvement in prediction accuracy and coverage over first
+order" for these programs.  This bench replays each workload's L1 miss
+stream through order-1..3 context predictors and compares accuracy.
+"""
+
+import itertools
+
+from repro.analysis.report import ascii_table
+from repro.config import CacheConfig
+from repro.memory.cache import SetAssociativeCache
+from repro.workloads import get_workload, workload_names
+
+_INSTRUCTIONS = 60_000
+_ORDERS = (1, 2, 3)
+
+
+def _miss_stream(name):
+    """(pc, block) pairs for every L1 load miss, functionally simulated."""
+    cache = SetAssociativeCache(
+        CacheConfig(
+            name="L1D", size_bytes=32 * 1024, associativity=4, block_size=32,
+            hit_latency=1,
+        )
+    )
+    for record in itertools.islice(get_workload(name), _INSTRUCTIONS):
+        if not record.is_memory:
+            continue
+        if cache.access(record.addr, is_store=record.is_store):
+            continue
+        block = cache.align(record.addr)
+        cache.insert(block)
+        if record.is_load:
+            yield record.pc, block
+
+
+def _per_load_order_accuracy(misses, order):
+    """Accuracy of an order-k predictor over *per-load* miss histories.
+
+    This matches the paper's setting: the SFM Markov table is trained on
+    each load's own miss sequence (the stride table holds the per-PC last
+    address), so the order-k comparison must use per-PC contexts too.
+    The table here is unbounded — an idealization that *favours* higher
+    orders, making "little improvement" a conservative conclusion.
+    """
+    from collections import deque
+
+    table = {}
+    histories = {}
+    correct = 0
+    total = 0
+    for pc, block in misses:
+        history = histories.setdefault(pc, deque(maxlen=order))
+        if len(history) == order:
+            context = (pc,) + tuple(history)
+            total += 1
+            if table.get(context) == block:
+                correct += 1
+            table[context] = block
+        history.append(block)
+    return correct / total if total else 0.0
+
+
+def test_ablation_markov_order(benchmark):
+    def experiment():
+        table = {}
+        for name in workload_names():
+            misses = list(_miss_stream(name))
+            table[name] = {
+                order: _per_load_order_accuracy(misses, order)
+                for order in _ORDERS
+            }
+        return table
+
+    table = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [
+        [name] + [f"{table[name][order] * 100:.1f}%" for order in _ORDERS]
+        for name in workload_names()
+    ]
+    print()
+    print(
+        ascii_table(
+            ["program"] + [f"order-{order}" for order in _ORDERS],
+            rows,
+            title=(
+                "Ablation A (reproduced): context-predictor accuracy on "
+                "the L1 miss stream vs order"
+            ),
+        )
+    )
+    print(
+        "Paper expectation: little to no improvement beyond first order."
+    )
+    for name in workload_names():
+        best_higher = max(table[name][2], table[name][3])
+        # Higher order never dominates dramatically (and an unbounded
+        # table already favours it).
+        assert best_higher < table[name][1] + 0.15, name

@@ -1,0 +1,99 @@
+"""Ablation D (Section 3): the prior prefetching models, head to head.
+
+The paper surveys three families of hardware prefetchers and picks
+decoupled stream buffers; within stream buffers it states that
+Palacharla & Kessler's address-indexed minimum-delta scheme "was
+uniformly outperformed by the per-load stride detector of Farkas et
+al.".  This bench runs all the implemented models on a stride workload
+and a pointer workload:
+
+- next-line prefetching (Smith) — demand-based, sequential only;
+- demand Markov prefetching (Joseph & Grunwald) — no chaining;
+- Jouppi sequential stream buffers;
+- Palacharla-Kessler minimum-delta stream buffers;
+- Farkas PC-stride stream buffers;
+- the paper's PSB (ConfAlloc-Priority).
+"""
+
+from _shared import MAX_INSTRUCTIONS, SEED, WARMUP_INSTRUCTIONS, run
+
+from repro.analysis.report import ascii_table
+from repro.sim import simulate
+from repro.sim.presets import (
+    demand_markov_config,
+    min_delta_config,
+    next_line_config,
+    sequential_config,
+)
+from repro.workloads import get_workload
+
+_PROGRAMS = ("turb3d", "health")
+_EXTRA_MACHINES = {
+    "NextLine": next_line_config,
+    "DemandMarkov": demand_markov_config,
+    "Jouppi": sequential_config,
+    "MinDelta": min_delta_config,
+}
+
+
+def test_ablation_prior_prefetchers(benchmark):
+    def experiment():
+        table = {}
+        for name in _PROGRAMS:
+            base = run(name, "Base")
+            rows = {}
+            for label, maker in _EXTRA_MACHINES.items():
+                result = simulate(
+                    maker(),
+                    get_workload(name, seed=SEED),
+                    max_instructions=MAX_INSTRUCTIONS,
+                    warmup_instructions=WARMUP_INSTRUCTIONS,
+                    label=f"{name}/{label}",
+                )
+                rows[label] = (result.speedup_over(base), result.prefetch_accuracy)
+            for label in ("Stride", "ConfAlloc-Priority"):
+                result = run(name, label)
+                rows[label] = (result.speedup_over(base), result.prefetch_accuracy)
+            table[name] = rows
+        return table
+
+    table = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    machines = list(_EXTRA_MACHINES) + ["Stride", "ConfAlloc-Priority"]
+    rows = []
+    for name in _PROGRAMS:
+        rows.append(
+            [name]
+            + [
+                f"{table[name][m][0]:+.1f}%/{table[name][m][1] * 100:.0f}%"
+                for m in machines
+            ]
+        )
+    print()
+    print(
+        ascii_table(
+            ["program"] + machines,
+            rows,
+            title=(
+                "Ablation D (reproduced): prior prefetchers, "
+                "speedup/accuracy per machine"
+            ),
+        )
+    )
+    print(
+        "Paper expectation: min-delta <= PC-stride (uniformly) and the "
+        "PSB leads on pointer code; demand-based models trail decoupled "
+        "stream buffers on the pointer chase."
+    )
+    # On the pointer chase, the per-load detector's advantage over the
+    # region-based minimum-delta is decisive (on the pure-stride code the
+    # two are close — min-delta's always-ready allocation even ramps a
+    # little faster here, a smaller gap than the paper's "uniform" win).
+    assert table["health"]["Stride"][0] > table["health"]["MinDelta"][0] + 10.0
+    assert (
+        table["turb3d"]["Stride"][0] >= table["turb3d"]["MinDelta"][0] - 10.0
+    )
+    # PSB leads everything on the pointer workload.
+    best_prior = max(
+        table["health"][m][0] for m in machines if m != "ConfAlloc-Priority"
+    )
+    assert table["health"]["ConfAlloc-Priority"][0] > best_prior

@@ -1,0 +1,50 @@
+"""Table 2: baseline characterization (no prefetching).
+
+The paper's Table 2 reports, per program: instructions simulated, L1
+data-cache miss rate, %loads, %stores, IPC, and the busy fraction of the
+L1-L2 and L2-memory buses.  This bench regenerates those rows on the
+baseline machine.
+"""
+
+from _shared import MAX_INSTRUCTIONS, WARMUP_INSTRUCTIONS, run
+
+from repro.analysis.report import ascii_table
+from repro.workloads import workload_names
+
+
+def test_table2_baseline(benchmark):
+    def experiment():
+        return {name: run(name, "Base") for name in workload_names()}
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            [
+                name,
+                f"{result.instructions}",
+                f"{result.l1_miss_rate * 100:.1f}",
+                f"{result.load_fraction * 100:.1f}",
+                f"{result.store_fraction * 100:.1f}",
+                f"{result.ipc:.2f}",
+                f"{result.l1_l2_bus_utilization * 100:.1f}",
+                f"{result.l2_mem_bus_utilization * 100:.1f}",
+            ]
+        )
+    print()
+    print(
+        ascii_table(
+            ["program", "#inst", "%L1 MR", "%lds", "%sts", "IPC",
+             "L1-L2 %bus", "L2-M %bus"],
+            rows,
+            title=(
+                "Table 2 (reproduced): baseline machine, "
+                f"{MAX_INSTRUCTIONS - WARMUP_INSTRUCTIONS} measured "
+                f"instructions after {WARMUP_INSTRUCTIONS} warm-up"
+            ),
+        )
+    )
+    for name, result in results.items():
+        assert 0.0 < result.ipc < 8.0
+        assert 0.0 < result.l1_miss_rate < 1.0
+        assert 0.0 <= result.l1_l2_bus_utilization <= 1.0

@@ -1,0 +1,10 @@
+"""Benchmark-harness configuration.
+
+Each benchmark is one full experiment (many simulations), so timing
+repetition is disabled: ``benchmark.pedantic(..., rounds=1)`` everywhere.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Direct a stream buffer with your own address predictor.
+
+The paper's key observation is that *any* address predictor can direct a
+stream buffer (Section 7).  This example builds a custom predictor — a
+simple order-2 context predictor wrapped in the AddressPredictor
+interface — plugs it into the stock StreamBufferController, and compares
+it against the paper's Stride-Filtered Markov on a recurring-pattern
+workload.
+
+Run:
+    python examples/custom_predictor.py
+"""
+
+from typing import Optional
+
+from repro import baseline_config, get_workload, psb_config, simulate
+from repro.config import (
+    PrefetchConfig,
+    PrefetcherKind,
+    SimConfig,
+    StreamBufferConfig,
+)
+from repro.predictors.base import AddressPredictor, StreamState
+from repro.predictors.context import ContextPredictor
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import Simulator
+from repro.streambuf.controller import StreamBufferController
+
+RUN = dict(max_instructions=50_000, warmup_instructions=20_000)
+
+
+class ConfidentContext(AddressPredictor):
+    """An order-2 context predictor with a per-PC accuracy counter.
+
+    Demonstrates the two predictor obligations PSB imposes:
+    - tables change only in ``train`` (the write-back stage);
+    - ``next_prediction`` advances only the stream's own history.
+    """
+
+    def __init__(self) -> None:
+        self._context = ContextPredictor(order=2, entries=8192)
+        self._confidence = {}
+
+    def train(self, pc: int, address: int) -> bool:
+        correct = self._context.train(pc, address)
+        counter = self._confidence.get(pc, 0)
+        self._confidence[pc] = min(7, counter + 1) if correct else max(0, counter - 1)
+        return correct
+
+    def make_stream_state(self, pc: int, address: int) -> StreamState:
+        state = self._context.make_stream_state(pc, address)
+        state.confidence = self.confidence_for(pc)
+        return state
+
+    def next_prediction(self, state: StreamState) -> Optional[int]:
+        return self._context.next_prediction(state)
+
+    def confidence_for(self, pc: int) -> int:
+        return self._confidence.get(pc, 0)
+
+    def allocation_ready(self, pc: int) -> bool:
+        return self.confidence_for(pc) >= 1
+
+
+def run_custom(workload: str) -> SimulationResult:
+    """Wire a PSB machine whose controller uses the custom predictor."""
+    config = SimConfig(
+        prefetch=PrefetchConfig(
+            kind=PrefetcherKind.PREDICTOR_DIRECTED,
+            stream_buffers=StreamBufferConfig(),
+        )
+    )
+    simulator = Simulator(config)
+    # Swap the SFM for the custom predictor before running.
+    simulator.controller.predictor = ConfidentContext()
+    return simulator.run(
+        get_workload(workload), label="order-2 context PSB", **RUN
+    )
+
+
+def main() -> None:
+    workload = "burg"
+    base = simulate(baseline_config(), get_workload(workload), **RUN)
+    sfm = simulate(psb_config(), get_workload(workload), **RUN)
+    custom = run_custom(workload)
+
+    print(f"workload '{workload}' (recurring tree walks)\n")
+    header = f"{'machine':26s} {'IPC':>6s} {'speedup':>8s} {'accuracy':>9s}"
+    print(header)
+    print("-" * len(header))
+    print(f"{'baseline':26s} {base.ipc:6.3f} {'':>8s} {'-':>9s}")
+    for result in (sfm, custom):
+        name = "SFM PSB" if result is sfm else "order-2 context PSB"
+        print(
+            f"{name:26s} {result.ipc:6.3f} "
+            f"{result.speedup_over(base):+7.1f}% "
+            f"{result.prefetch_accuracy * 100:8.0f}%"
+        )
+    print(
+        "\nAny predictor implementing AddressPredictor can direct the "
+        "stream buffers — the controller, allocation filters, and "
+        "schedulers are unchanged."
+    )
+
+
+if __name__ == "__main__":
+    main()

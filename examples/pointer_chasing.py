@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Why fixed strides fail on pointer chases — and how a PSB follows them.
+
+This example dissects the mechanism rather than just reporting a speedup:
+
+1. It trains the paper's Stride-Filtered Markov predictor on a linked
+   list's miss stream and shows the stride component learning nothing
+   while the Markov component learns the chain.
+2. It then runs the `health` workload and reports where demand loads were
+   served (L1 / stream buffer / L2 / memory) with and without the PSB.
+
+Run:
+    python examples/pointer_chasing.py
+"""
+
+import random
+
+from repro import baseline_config, get_workload, psb_config
+from repro.predictors.sfm import StrideFilteredMarkovPredictor
+from repro.sim.simulator import Simulator
+
+
+def demonstrate_predictor() -> None:
+    print("=== Part 1: the Stride-Filtered Markov predictor ===\n")
+    rng = random.Random(42)
+    # A linked list of 64-byte nodes, allocated together, traversal shuffled.
+    nodes = [0x1000_0000 + i * 64 for i in range(32)]
+    rng.shuffle(nodes)
+
+    sfm = StrideFilteredMarkovPredictor()
+    load_pc = 0x2000
+    for sweep in range(3):
+        correct = sum(sfm.train(load_pc, node) for node in nodes)
+        print(
+            f"sweep {sweep}: predictor correct on "
+            f"{correct}/{len(nodes)} misses, "
+            f"confidence={sfm.confidence_for(load_pc)}"
+        )
+
+    entry = sfm.stride_table.lookup(load_pc)
+    print(f"\ntwo-delta stride learned: {entry.two_delta_stride} "
+          "(no stable stride exists in a shuffled chain)")
+    print(f"Markov transitions recorded: {sfm.markov_table.trains}")
+
+    state = sfm.make_stream_state(load_pc, nodes[0])
+    predicted = [sfm.next_prediction(state) for __ in range(5)]
+    print(f"\nstream-buffer run-ahead from {nodes[0]:#x}:")
+    for want, got in zip(nodes[1:6], predicted):
+        marker = "ok" if want == got else "MISS"
+        print(f"  predicted {got:#x}  actual {want:#x}  [{marker}]")
+
+
+def demonstrate_machine() -> None:
+    print("\n=== Part 2: where loads get served ===\n")
+    for label, config in [
+        ("baseline", baseline_config()),
+        ("PSB (ConfAlloc-Priority)", psb_config()),
+    ]:
+        simulator = Simulator(config)
+        result = simulator.run(
+            get_workload("health"),
+            max_instructions=40_000,
+            warmup_instructions=15_000,
+            label=label,
+        )
+        hierarchy = simulator.hierarchy
+        print(f"{label}:")
+        print(f"  IPC                 {result.ipc:.3f}")
+        print(f"  avg load latency    {result.avg_load_latency:.2f} cycles")
+        print(f"  demand misses       {hierarchy.demand_misses}")
+        print(
+            "  served by stream buffer: "
+            f"{hierarchy.sb_hits} ready + {hierarchy.sb_pending_hits} in-flight"
+        )
+        if simulator.controller is not None:
+            controller = simulator.controller
+            print(
+                f"  prefetches issued/used   "
+                f"{controller.prefetches_issued}/{controller.prefetches_used} "
+                f"(accuracy {controller.accuracy * 100:.0f}%)"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    demonstrate_predictor()
+    demonstrate_machine()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Sweep the PSB's policy space on the stream-thrashing workload.
+
+`sis` interleaves more concurrent streams than the 8 stream buffers can
+hold.  This example crosses the two allocation filters with the two
+schedulers (the four PSB variants of Figure 5) and prints speedup,
+accuracy, and wasted bus bandwidth — showing confidence allocation
+suppressing stream thrashing exactly as Section 6 describes.
+
+Run:
+    python examples/policy_comparison.py [workload]
+"""
+
+import sys
+
+from repro import (
+    AllocationPolicy,
+    SchedulingPolicy,
+    baseline_config,
+    get_workload,
+    psb_config,
+    simulate,
+)
+
+RUN = dict(max_instructions=50_000, warmup_instructions=20_000)
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "sis"
+    base = simulate(baseline_config(), get_workload(workload), **RUN)
+    print(
+        f"workload '{workload}': baseline IPC {base.ipc:.3f}, "
+        f"L1-L2 bus {base.l1_l2_bus_utilization * 100:.0f}% busy\n"
+    )
+
+    header = (
+        f"{'allocation':12s} {'scheduling':12s} {'speedup':>8s} "
+        f"{'accuracy':>9s} {'bus busy':>9s} {'allocs':>7s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for allocation in (AllocationPolicy.TWO_MISS, AllocationPolicy.CONFIDENCE):
+        for scheduling in (
+            SchedulingPolicy.ROUND_ROBIN,
+            SchedulingPolicy.PRIORITY,
+        ):
+            result = simulate(
+                psb_config(allocation, scheduling),
+                get_workload(workload),
+                **RUN,
+            )
+            print(
+                f"{allocation.value:12s} {scheduling.value:12s} "
+                f"{result.speedup_over(base):+7.1f}% "
+                f"{result.prefetch_accuracy * 100:8.0f}% "
+                f"{result.l1_l2_bus_utilization * 100:8.0f}% "
+                f"{result.sb_allocations:7d}"
+            )
+
+    print(
+        "\nReading: two-miss allocation admits every briefly-predictable "
+        "load, so buffers are stolen before their prefetches are used "
+        "(low accuracy, wasted bus).  Confidence allocation only admits "
+        "loads whose predictions have been accurate, and priority "
+        "scheduling hands the bus to the buffers that are hitting."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Reproduce Figure 5 from the command line with a bar chart.
+
+Runs all six benchmark stand-ins under the baseline, PC-stride stream
+buffers, and the four PSB variants, then prints the Figure 5 speedup
+chart as ASCII bars.  This is a smaller, self-contained version of
+``benchmarks/bench_fig05_speedup.py``.
+
+Run:
+    python examples/reproduce_figure5.py [instructions]
+"""
+
+import sys
+
+from repro import baseline_config, get_workload, paper_configs, simulate
+from repro.analysis.report import ascii_bar_chart
+from repro.workloads import workload_names
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 50_000
+    warmup = instructions // 3
+
+    for name in workload_names():
+        base = simulate(
+            baseline_config(), get_workload(name),
+            max_instructions=instructions, warmup_instructions=warmup,
+        )
+        speedups = {}
+        for label, config in paper_configs().items():
+            result = simulate(
+                config, get_workload(name),
+                max_instructions=instructions, warmup_instructions=warmup,
+            )
+            speedups[label] = result.speedup_over(base)
+        print()
+        print(
+            ascii_bar_chart(
+                speedups,
+                width=36,
+                unit="%",
+                title=f"{name}: % speedup over base (IPC {base.ipc:.3f})",
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Design your own workload and see which prefetcher wins.
+
+Uses the composable synthetic-workload builder to sweep the *mixture* of
+pointer chasing vs. striding, showing the crossover the paper's whole
+argument rests on: stride stream buffers win stride-heavy mixes, the PSB
+wins chase-heavy mixes, and the PSB never loses badly at either extreme
+(its SFM predictor contains a stride component).
+
+Run:
+    python examples/synthetic_study.py
+"""
+
+from repro import baseline_config, psb_config, simulate, stride_config
+from repro.workloads.synthetic import PointerChase, StrideSweep, SyntheticWorkload
+
+RUN = dict(max_instructions=40_000, warmup_instructions=15_000)
+
+#: (label, chase nodes per round, sweep elements per round)
+MIXES = [
+    ("pure stride", 0, 768),
+    ("mostly stride", 150, 512),
+    ("balanced", 300, 256),
+    ("mostly chase", 450, 128),
+    ("pure chase", 600, 0),
+]
+
+
+def _workload(chase_nodes, sweep_elements):
+    phases = []
+    if chase_nodes:
+        phases.append(
+            PointerChase(nodes=chase_nodes, node_bytes=64, work_per_node=6)
+        )
+    if sweep_elements:
+        phases.append(
+            StrideSweep(elements=sweep_elements, stride=16, work_per_element=6)
+        )
+    return SyntheticWorkload(phases, seed=1)
+
+
+def main() -> None:
+    print("Prefetcher crossover as the workload mix shifts "
+          "from striding to pointer chasing:\n")
+    header = (
+        f"{'mix':14s} {'base IPC':>9s} {'stride SB':>10s} {'PSB':>8s} "
+        f"{'winner':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for label, chase_nodes, sweep_elements in MIXES:
+        base = simulate(
+            baseline_config(), _workload(chase_nodes, sweep_elements), **RUN
+        )
+        stride = simulate(
+            stride_config(), _workload(chase_nodes, sweep_elements), **RUN
+        )
+        psb = simulate(
+            psb_config(), _workload(chase_nodes, sweep_elements), **RUN
+        )
+        stride_gain = stride.speedup_over(base)
+        psb_gain = psb.speedup_over(base)
+        winner = "PSB" if psb_gain > stride_gain + 1 else (
+            "stride" if stride_gain > psb_gain + 1 else "tie"
+        )
+        print(
+            f"{label:14s} {base.ipc:9.3f} {stride_gain:+9.1f}% "
+            f"{psb_gain:+7.1f}% {winner:>8s}"
+        )
+    print(
+        "\nReading: a fixed stride cannot follow a pointer chase, so the "
+        "stride stream buffer's benefit decays with the chase fraction; "
+        "the PSB's Markov component keeps following."
+    )
+
+
+if __name__ == "__main__":
+    main()

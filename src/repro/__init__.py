@@ -1,0 +1,82 @@
+"""repro: a reproduction of "Predictor-Directed Stream Buffers".
+
+Sherwood, Sair, Calder — MICRO-33, December 2000.
+
+The package implements, from scratch, everything the paper's evaluation
+needs: an out-of-order core timing model, a bandwidth-accurate memory
+hierarchy, address predictors (two-delta stride, differential Markov,
+and their Stride-Filtered Markov hybrid), stream-buffer prefetchers
+(Jouppi sequential, Farkas PC-stride, and the paper's Predictor-Directed
+Stream Buffers with confidence allocation and priority scheduling), and
+six synthetic workloads that stand in for the paper's benchmarks.
+
+Quickstart::
+
+    from repro import simulate, baseline_config, psb_config, get_workload
+
+    base = simulate(baseline_config(), get_workload("health"),
+                    max_instructions=40_000, warmup_instructions=10_000)
+    psb = simulate(psb_config(), get_workload("health"),
+                   max_instructions=40_000, warmup_instructions=10_000)
+    print(f"speedup: {psb.speedup_over(base):.1f}%")
+"""
+
+from repro.config import (
+    AllocationPolicy,
+    BusConfig,
+    CacheConfig,
+    CoreConfig,
+    DisambiguationPolicy,
+    MarkovPredictorConfig,
+    MemoryConfig,
+    PrefetchConfig,
+    PrefetcherKind,
+    SchedulingPolicy,
+    SimConfig,
+    StreamBufferConfig,
+    StridePredictorConfig,
+    TlbConfig,
+)
+from repro.sim import (
+    SimulationResult,
+    Simulator,
+    baseline_config,
+    paper_configs,
+    psb_config,
+    simulate,
+    stride_config,
+)
+from repro.trace import InstrKind, TraceRecord
+from repro.workloads import get_workload, get_workload_generator, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationPolicy",
+    "BusConfig",
+    "CacheConfig",
+    "CoreConfig",
+    "DisambiguationPolicy",
+    "MarkovPredictorConfig",
+    "MemoryConfig",
+    "PrefetchConfig",
+    "PrefetcherKind",
+    "SchedulingPolicy",
+    "SimConfig",
+    "StreamBufferConfig",
+    "StridePredictorConfig",
+    "TlbConfig",
+    "SimulationResult",
+    "Simulator",
+    "baseline_config",
+    "paper_configs",
+    "psb_config",
+    "simulate",
+    "stride_config",
+    "InstrKind",
+    "TraceRecord",
+    "get_workload",
+    "get_workload_generator",
+    "workload_names",
+    "__version__",
+]

@@ -1,0 +1,80 @@
+"""Figure 4 analysis: bits needed by the differential Markov table.
+
+The paper's space optimization stores the *difference* between
+consecutive cache-miss addresses instead of the absolute successor.
+Figure 4 asks: given N-bit signed entries, what fraction of L1 miss
+transitions could the table represent (and therefore predict)?  The
+answer — 16 bits captures almost everything — justifies the 4 KB table.
+
+This module replays a workload's L1 miss stream (gathered with a simple
+cache functional model, no timing needed) and histograms the per-load
+transition deltas by the signed bit-width required to encode them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.config import CacheConfig
+from repro.memory.cache import SetAssociativeCache
+from repro.stats import Histogram
+from repro.trace.record import InstrKind, TraceRecord
+from repro.utils import min_bits_signed
+
+
+class MarkovBitsAnalysis:
+    """Histogram of signed bit-widths of consecutive-miss deltas."""
+
+    def __init__(self, histogram: Histogram) -> None:
+        self.histogram = histogram
+
+    def coverage_at(self, bits: int) -> float:
+        """Fraction of miss transitions representable with ``bits`` bits."""
+        return self.histogram.fraction_at_or_below(bits)
+
+    def coverage_curve(self, bit_widths: Iterable[int]) -> List[float]:
+        return [self.coverage_at(bits) for bits in bit_widths]
+
+    @property
+    def transitions(self) -> int:
+        return self.histogram.total
+
+
+def markov_delta_bits(
+    trace: Iterable[TraceRecord],
+    max_instructions: int,
+    l1_config: CacheConfig = CacheConfig(
+        name="L1D", size_bytes=32 * 1024, associativity=4, block_size=32,
+        hit_latency=1,
+    ),
+) -> MarkovBitsAnalysis:
+    """Replay ``trace`` functionally and histogram per-load miss deltas.
+
+    Transitions are between consecutive misses of the *same load PC*
+    (matching the SFM training rule, which records ``last address ->
+    current address`` out of the PC-indexed stride table), at cache-block
+    granularity like the rest of the predictor.
+    """
+    cache = SetAssociativeCache(l1_config)
+    last_miss_of_pc: Dict[int, int] = {}
+    histogram = Histogram("markov-delta-bits")
+    seen = 0
+    for record in trace:
+        seen += 1
+        if seen > max_instructions:
+            break
+        if record.kind not in (InstrKind.LOAD, InstrKind.STORE):
+            continue
+        hit = cache.access(record.addr, is_store=record.is_store)
+        if hit:
+            continue
+        block = cache.align(record.addr)
+        cache.insert(block)
+        if not record.is_load:
+            continue
+        previous = last_miss_of_pc.get(record.pc)
+        if previous is not None:
+            delta = block - previous
+            histogram.add(min_bits_signed(delta))
+        last_miss_of_pc[record.pc] = block
+    return MarkovBitsAnalysis(histogram)

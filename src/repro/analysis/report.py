@@ -1,0 +1,54 @@
+"""ASCII rendering for benchmark output.
+
+Every benchmark prints the table or figure it reproduces in a shape that
+can be compared line-by-line with the paper; these helpers keep the
+formatting consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def ascii_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render a simple fixed-width table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        header.ljust(widths[index]) for index, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        lines.append(
+            "  ".join(value.rjust(widths[index]) for index, value in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    values: Dict[str, float], width: int = 40, unit: str = "", title: str = ""
+) -> str:
+    """Render labelled horizontal bars (for figure-shaped output)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not values:
+        return "\n".join(lines)
+    label_width = max(len(label) for label in values)
+    peak = max((abs(value) for value in values.values()), default=1.0) or 1.0
+    for label, value in values.items():
+        bar = "#" * max(0, int(round(width * abs(value) / peak)))
+        sign = "-" if value < 0 else ""
+        lines.append(
+            f"{label.ljust(label_width)} | {sign}{bar} {value:.2f}{unit}"
+        )
+    return "\n".join(lines)

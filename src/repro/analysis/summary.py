@@ -1,0 +1,108 @@
+"""Markdown report generation for comparison runs.
+
+``repro-sim report`` (and library users via :func:`comparison_report`)
+turn a set of labelled :class:`~repro.sim.results.SimulationResult`
+objects into a self-contained markdown document: machine table,
+speedups, prefetch statistics, and bus pressure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim.results import SimulationResult
+
+
+def _table(headers: List[str], rows: List[List[str]]) -> List[str]:
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for __ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return lines
+
+
+def comparison_report(
+    workload: str,
+    results: Dict[str, SimulationResult],
+    baseline_label: str = "Base",
+    title: Optional[str] = None,
+) -> str:
+    """Render a markdown comparison of ``results`` against a baseline.
+
+    ``results`` maps machine labels to simulation results and must
+    contain ``baseline_label``.
+    """
+    if baseline_label not in results:
+        raise ValueError(f"no baseline {baseline_label!r} in results")
+    base = results[baseline_label]
+    lines: List[str] = []
+    lines.append(title or f"# Simulation report: {workload}")
+    lines.append("")
+    lines.append(
+        f"Baseline (`{baseline_label}`): IPC {base.ipc:.3f} over "
+        f"{base.instructions} instructions ({base.cycles} cycles); "
+        f"L1 miss rate {base.l1_miss_rate * 100:.1f}%, average load "
+        f"latency {base.avg_load_latency:.2f} cycles."
+    )
+    lines.append("")
+    lines.append("## Performance")
+    lines.append("")
+    rows = []
+    for label, result in results.items():
+        speedup = "-" if label == baseline_label else (
+            f"{result.speedup_over(base):+.1f}%"
+        )
+        rows.append(
+            [
+                label,
+                f"{result.ipc:.3f}",
+                speedup,
+                f"{result.avg_load_latency:.2f}",
+                f"{result.l1_miss_rate * 100:.1f}%",
+            ]
+        )
+    lines.extend(
+        _table(
+            ["machine", "IPC", "speedup", "load latency", "L1 miss rate"],
+            rows,
+        )
+    )
+    lines.append("")
+    lines.append("## Prefetching")
+    lines.append("")
+    rows = []
+    for label, result in results.items():
+        if result.prefetches_issued == 0:
+            continue
+        rows.append(
+            [
+                label,
+                f"{result.prefetches_issued}",
+                f"{result.prefetches_used}",
+                f"{result.prefetch_accuracy * 100:.0f}%",
+                f"{result.sb_allocations}",
+            ]
+        )
+    if rows:
+        lines.extend(
+            _table(
+                ["machine", "issued", "used", "accuracy", "allocations"],
+                rows,
+            )
+        )
+    else:
+        lines.append("No prefetchers in this comparison.")
+    lines.append("")
+    lines.append("## Bus pressure")
+    lines.append("")
+    rows = [
+        [
+            label,
+            f"{result.l1_l2_bus_utilization * 100:.1f}%",
+            f"{result.l2_mem_bus_utilization * 100:.1f}%",
+        ]
+        for label, result in results.items()
+    ]
+    lines.extend(_table(["machine", "L1-L2 busy", "L2-mem busy"], rows))
+    lines.append("")
+    return "\n".join(lines)

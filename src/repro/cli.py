@@ -1,0 +1,217 @@
+"""Command-line interface: run paper machines from the shell.
+
+Usage (also available as ``python -m repro``)::
+
+    repro-sim workloads
+    repro-sim run health --machine psb --instructions 50000
+    repro-sim compare health --instructions 50000
+    repro-sim trace burg --out burg.trace --instructions 20000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.report import ascii_table
+from repro.config import SimConfig
+from repro.sim import baseline_config, paper_configs, simulate
+from repro.sim.presets import (
+    demand_markov_config,
+    min_delta_config,
+    next_line_config,
+    sequential_config,
+)
+from repro.trace.io import save_trace
+from repro.workloads import WORKLOADS, get_workload, workload_names
+
+#: Machine names accepted by --machine.
+MACHINES: Dict[str, Callable[[], SimConfig]] = {
+    "base": baseline_config,
+    "stride": lambda: paper_configs()["Stride"],
+    "2miss-rr": lambda: paper_configs()["2Miss-RR"],
+    "2miss-priority": lambda: paper_configs()["2Miss-Priority"],
+    "confalloc-rr": lambda: paper_configs()["ConfAlloc-RR"],
+    "psb": lambda: paper_configs()["ConfAlloc-Priority"],
+    "jouppi": sequential_config,
+    "min-delta": min_delta_config,
+    "next-line": next_line_config,
+    "demand-markov": demand_markov_config,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description=(
+            "Reproduction of 'Predictor-Directed Stream Buffers' "
+            "(MICRO-33, 2000)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("workloads", help="list the benchmark stand-ins")
+
+    run = commands.add_parser("run", help="simulate one machine")
+    _add_run_arguments(run)
+    run.add_argument(
+        "--machine", choices=sorted(MACHINES), default="psb",
+        help="which machine to simulate (default: psb)",
+    )
+
+    compare = commands.add_parser(
+        "compare", help="run all six Figure 5 machines on one workload"
+    )
+    _add_run_arguments(compare)
+
+    trace = commands.add_parser("trace", help="save a workload trace file")
+    trace.add_argument("workload", choices=workload_names())
+    trace.add_argument("--out", required=True, help="output path")
+    trace.add_argument("--instructions", type=int, default=20_000)
+    trace.add_argument("--seed", type=int, default=1)
+
+    report = commands.add_parser(
+        "report", help="write a markdown comparison report"
+    )
+    _add_run_arguments(report)
+    report.add_argument("--out", required=True, help="output markdown path")
+    return parser
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("workload", choices=workload_names())
+    parser.add_argument("--instructions", type=int, default=50_000)
+    parser.add_argument("--warmup", type=int, default=None,
+                        help="default: instructions // 3")
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _warmup_of(args: argparse.Namespace) -> int:
+    if args.warmup is not None:
+        return args.warmup
+    return args.instructions // 3
+
+
+def _command_workloads() -> int:
+    rows = [
+        [name, cls.description] for name, cls in WORKLOADS.items()
+    ]
+    print(ascii_table(["name", "description"], rows, title="Workloads"))
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = MACHINES[args.machine]()
+    result = simulate(
+        config,
+        get_workload(args.workload, seed=args.seed),
+        max_instructions=args.instructions,
+        warmup_instructions=_warmup_of(args),
+        label=args.machine,
+    )
+    rows = [
+        ["IPC", f"{result.ipc:.3f}"],
+        ["cycles", f"{result.cycles}"],
+        ["L1 miss rate", f"{result.l1_miss_rate * 100:.1f}%"],
+        ["avg load latency", f"{result.avg_load_latency:.2f} cycles"],
+        ["branch mispredict", f"{result.branch_misprediction_rate * 100:.1f}%"],
+        ["L1-L2 bus busy", f"{result.l1_l2_bus_utilization * 100:.1f}%"],
+        ["L2-mem bus busy", f"{result.l2_mem_bus_utilization * 100:.1f}%"],
+        ["prefetches issued", f"{result.prefetches_issued}"],
+        ["prefetch accuracy", f"{result.prefetch_accuracy * 100:.1f}%"],
+    ]
+    print(
+        ascii_table(
+            ["statistic", "value"], rows,
+            title=f"{args.workload} on '{args.machine}'",
+        )
+    )
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    warmup = _warmup_of(args)
+    base = simulate(
+        baseline_config(),
+        get_workload(args.workload, seed=args.seed),
+        max_instructions=args.instructions,
+        warmup_instructions=warmup,
+        label="Base",
+    )
+    rows = [["Base", f"{base.ipc:.3f}", "-", "-"]]
+    for label, config in paper_configs().items():
+        result = simulate(
+            config,
+            get_workload(args.workload, seed=args.seed),
+            max_instructions=args.instructions,
+            warmup_instructions=warmup,
+            label=label,
+        )
+        rows.append(
+            [
+                label,
+                f"{result.ipc:.3f}",
+                f"{result.speedup_over(base):+.1f}%",
+                f"{result.prefetch_accuracy * 100:.0f}%",
+            ]
+        )
+    print(
+        ascii_table(
+            ["machine", "IPC", "speedup", "accuracy"],
+            rows,
+            title=f"Figure 5 machines on '{args.workload}'",
+        )
+    )
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from repro.analysis.summary import comparison_report
+
+    warmup = _warmup_of(args)
+    results = {}
+    for label, config in [("Base", baseline_config())] + list(
+        paper_configs().items()
+    ):
+        results[label] = simulate(
+            config,
+            get_workload(args.workload, seed=args.seed),
+            max_instructions=args.instructions,
+            warmup_instructions=warmup,
+            label=label,
+        )
+    document = comparison_report(args.workload, results)
+    with open(args.out, "w") as handle:
+        handle.write(document)
+    print(f"wrote report to {args.out}")
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    written = save_trace(
+        args.out,
+        get_workload(args.workload, seed=args.seed),
+        limit=args.instructions,
+    )
+    print(f"wrote {written} records to {args.out}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "workloads":
+        return _command_workloads()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "compare":
+        return _command_compare(args)
+    if args.command == "trace":
+        return _command_trace(args)
+    if args.command == "report":
+        return _command_report(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

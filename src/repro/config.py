@@ -1,0 +1,244 @@
+"""Configuration dataclasses for every simulated component.
+
+All values default to the baseline architecture of Section 5.1 of the
+paper.  Configurations are frozen so a single config object can safely be
+shared between sweeps; derived values (set counts, transfer cycles) are
+computed by the components that consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Optional
+
+from repro.utils import is_power_of_two
+
+
+class DisambiguationPolicy(Enum):
+    """Load/store memory disambiguation policy (Section 6.1).
+
+    ``PERFECT_STORE_SETS``: a load only waits on earlier in-flight stores
+    to the same word and receives the value through a 2-cycle forward.
+    ``NO_DISAMBIGUATION``: a load waits until every prior store has issued.
+    """
+
+    PERFECT_STORE_SETS = "perfect-store-sets"
+    NO_DISAMBIGUATION = "no-disambiguation"
+
+
+class PrefetcherKind(Enum):
+    """Which prefetcher architecture fronts the L2 (Sections 3 and 6)."""
+
+    NONE = "none"
+    SEQUENTIAL = "sequential"  # Jouppi next-block streaming (extra baseline)
+    STRIDE_PC = "stride-pc"  # Farkas et al. PC-stride stream buffers
+    PREDICTOR_DIRECTED = "psb"  # this paper
+    MIN_DELTA = "min-delta"  # Palacharla & Kessler stream buffers
+    NEXT_LINE = "next-line"  # Smith's tagged next-line prefetching
+    DEMAND_MARKOV = "demand-markov"  # Joseph & Grunwald Markov prefetcher
+
+
+class AllocationPolicy(Enum):
+    """Stream-buffer allocation filter (Section 4.3)."""
+
+    ALWAYS = "always"
+    TWO_MISS = "two-miss"
+    CONFIDENCE = "confidence"
+
+
+class SchedulingPolicy(Enum):
+    """Stream-buffer predictor/bus scheduling (Section 4.4)."""
+
+    ROUND_ROBIN = "round-robin"
+    PRIORITY = "priority"
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    associativity: int
+    block_size: int
+    hit_latency: int
+    mshr_entries: int = 16
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.block_size):
+            raise ValueError(f"{self.name}: block size must be a power of two")
+        if self.size_bytes % (self.block_size * self.associativity) != 0:
+            raise ValueError(f"{self.name}: size not divisible into sets")
+        if self.num_sets < 1:
+            raise ValueError(f"{self.name}: fewer than one set")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.block_size * self.associativity)
+
+    @property
+    def num_blocks(self) -> int:
+        return self.size_bytes // self.block_size
+
+
+@dataclass(frozen=True)
+class BusConfig:
+    """A bus that moves one request at a time at a fixed bytes/cycle rate."""
+
+    name: str
+    bytes_per_cycle: int
+
+    def transfer_cycles(self, num_bytes: int) -> int:
+        """Cycles the bus stays busy moving ``num_bytes``."""
+        return max(1, -(-num_bytes // self.bytes_per_cycle))
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Main-memory (DRAM) access parameters."""
+
+    access_latency: int = 120
+
+
+@dataclass(frozen=True)
+class TlbConfig:
+    """Data TLB used to translate prefetch addresses (Section 4.5)."""
+
+    entries: int = 128
+    page_size: int = 4096
+    miss_latency: int = 30
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order core parameters (Section 5.1)."""
+
+    fetch_width: int = 8
+    decode_width: int = 8
+    issue_width: int = 8
+    retire_width: int = 8
+    rob_entries: int = 128
+    lsq_entries: int = 64
+    branch_predictions_per_cycle: int = 2
+    mispredict_penalty: int = 8
+    store_forward_latency: int = 2
+    gshare_history_bits: int = 12
+    disambiguation: DisambiguationPolicy = DisambiguationPolicy.PERFECT_STORE_SETS
+    int_alu_units: int = 8
+    load_store_units: int = 4
+    fp_add_units: int = 2
+    int_mul_div_units: int = 2
+    fp_mul_div_units: int = 2
+
+
+@dataclass(frozen=True)
+class StridePredictorConfig:
+    """PC-indexed two-delta stride table (Sections 2.1 and 6)."""
+
+    entries: int = 256
+    associativity: int = 4
+    confidence_max: int = 7
+    confidence_initial: int = 0
+
+
+@dataclass(frozen=True)
+class MarkovPredictorConfig:
+    """First-order differential Markov table (Section 4.2)."""
+
+    entries: int = 2048
+    delta_bits: int = 16
+    differential: bool = True
+    associativity: int = 4
+
+
+@dataclass(frozen=True)
+class StreamBufferConfig:
+    """Stream-buffer array parameters (Sections 4 and 6)."""
+
+    num_buffers: int = 8
+    entries_per_buffer: int = 4
+    allocation: AllocationPolicy = AllocationPolicy.CONFIDENCE
+    scheduling: SchedulingPolicy = SchedulingPolicy.PRIORITY
+    confidence_threshold: int = 1
+    priority_max: int = 12
+    priority_hit_bonus: int = 2
+    priority_age_period: int = 10  # L1 data-cache misses between agings
+    priority_age_amount: int = 1
+    #: Section 4.5: store the TLB translation with each stream buffer and
+    #: only re-walk when a prefetch crosses a page boundary.
+    cache_tlb_translations: bool = False
+    #: Section 3.3.2: Jouppi's original buffers were FIFOs probed only at
+    #: the head; Farkas et al. made the lookup fully associative (the
+    #: model the paper uses).  False selects the FIFO behaviour.
+    associative_lookup: bool = True
+    #: Section 3.3.2 / 4.1: Farkas et al. forbid two buffers following
+    #: overlapping streams; disabling the check lets duplicate blocks be
+    #: prefetched twice (an ablation knob).
+    check_overlap: bool = True
+
+
+@dataclass(frozen=True)
+class PrefetchConfig:
+    """Which prefetcher to build and how to configure it."""
+
+    kind: PrefetcherKind = PrefetcherKind.PREDICTOR_DIRECTED
+    stream_buffers: StreamBufferConfig = field(default_factory=StreamBufferConfig)
+    stride: StridePredictorConfig = field(default_factory=StridePredictorConfig)
+    markov: MarkovPredictorConfig = field(default_factory=MarkovPredictorConfig)
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Top-level simulation configuration: the paper's baseline machine."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1_data: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            name="L1D",
+            size_bytes=32 * 1024,
+            associativity=4,
+            block_size=32,
+            hit_latency=1,
+        )
+    )
+    l2_unified: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            name="L2",
+            size_bytes=1024 * 1024,
+            associativity=4,
+            block_size=64,
+            hit_latency=12,
+            mshr_entries=16,
+        )
+    )
+    l1_l2_bus: BusConfig = field(
+        default_factory=lambda: BusConfig(name="L1-L2", bytes_per_cycle=8)
+    )
+    l2_mem_bus: BusConfig = field(
+        default_factory=lambda: BusConfig(name="L2-Mem", bytes_per_cycle=4)
+    )
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    tlb: TlbConfig = field(default_factory=TlbConfig)
+    prefetch: PrefetchConfig = field(
+        default_factory=lambda: PrefetchConfig(kind=PrefetcherKind.NONE)
+    )
+    l2_pipeline_depth: int = 3
+    warmup_instructions: int = 0
+    max_cycles: Optional[int] = None
+
+    def with_prefetcher(self, prefetch: PrefetchConfig) -> "SimConfig":
+        """Return a copy of this config using ``prefetch``."""
+        return replace(self, prefetch=prefetch)
+
+    def with_l1(self, size_bytes: int, associativity: int) -> "SimConfig":
+        """Return a copy with a resized L1 data cache (Figure 10 sweep)."""
+        l1 = replace(
+            self.l1_data, size_bytes=size_bytes, associativity=associativity
+        )
+        return replace(self, l1_data=l1)
+
+    def with_disambiguation(self, policy: DisambiguationPolicy) -> "SimConfig":
+        """Return a copy with a different load/store policy (Figure 11)."""
+        core = replace(self.core, disambiguation=policy)
+        return replace(self, core=core)

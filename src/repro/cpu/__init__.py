@@ -1,0 +1,21 @@
+"""The out-of-order core timing model (Section 5.1).
+
+An 8-wide dynamically scheduled processor: gshare branch prediction (two
+predictions per cycle), a 128-entry reorder buffer with a 64-entry
+load/store queue, the paper's functional-unit mix and latencies, and a
+selectable load/store disambiguation policy (perfect store sets or
+no-disambiguation, Section 6.1).
+"""
+
+from repro.cpu.branch import GsharePredictor
+from repro.cpu.core import CoreStats, OutOfOrderCore
+from repro.cpu.funits import FunctionalUnits
+from repro.cpu.storesets import StoreTracker
+
+__all__ = [
+    "GsharePredictor",
+    "CoreStats",
+    "OutOfOrderCore",
+    "FunctionalUnits",
+    "StoreTracker",
+]

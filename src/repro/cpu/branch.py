@@ -1,0 +1,63 @@
+"""McFarling gshare branch prediction (Section 5.1).
+
+The fetch unit is driven by a gshare predictor making up to two
+predictions per cycle.  gshare XORs the global branch history with the
+branch PC to index a table of two-bit saturating counters, decorrelating
+different branches that share history patterns.
+"""
+
+from __future__ import annotations
+
+
+class GsharePredictor:
+    """Global-history XOR PC indexed table of 2-bit counters."""
+
+    def __init__(self, history_bits: int = 12) -> None:
+        if history_bits < 1:
+            raise ValueError("history_bits must be positive")
+        self.history_bits = history_bits
+        self.table_size = 1 << history_bits
+        self._mask = self.table_size - 1
+        self._counters = [2] * self.table_size  # weakly taken
+        self._history = 0
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Predict, then train with the actual outcome.
+
+        Returns True when the prediction was correct.  The global history
+        is updated with the resolved outcome (the trace-driven front end
+        never fetches down a wrong path, so no history repair is needed).
+        """
+        index = self._index(pc)
+        predicted = self._counters[index] >= 2
+        self.predictions += 1
+        if taken:
+            if self._counters[index] < 3:
+                self._counters[index] += 1
+        else:
+            if self._counters[index] > 0:
+                self._counters[index] -= 1
+        self._history = ((self._history << 1) | int(taken)) & self._mask
+        correct = predicted == taken
+        if not correct:
+            self.mispredictions += 1
+        return correct
+
+    @property
+    def misprediction_rate(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+    def reset_stats(self) -> None:
+        self.predictions = 0
+        self.mispredictions = 0

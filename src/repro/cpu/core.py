@@ -1,0 +1,354 @@
+"""Cycle-driven out-of-order core (Section 5.1).
+
+The model keeps every mechanism the paper's results depend on:
+
+- 8-wide fetch limited to two branch predictions per cycle, stalling on a
+  gshare misprediction until the branch resolves plus an 8-cycle penalty;
+- a 128-entry reorder buffer and 64-entry load/store queue; dispatch
+  stalls when either is full, so long-latency misses back the window up;
+- dependence-driven issue over the paper's functional-unit mix, with
+  unpipelined dividers;
+- loads issued to the memory hierarchy (L1 + stream buffers + L2 + DRAM)
+  with a selectable disambiguation policy; same-word store-to-load
+  forwarding costs 2 cycles and forwarded loads never train the
+  prefetcher (Section 4.2);
+- in-order retirement, up to 8 per cycle.
+
+Simplifications vs. SimpleScalar (documented in DESIGN.md): wrong-path
+instructions are not executed (the misprediction penalty is charged
+instead), and stores access the cache at issue rather than at commit.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from repro.config import CoreConfig, DisambiguationPolicy
+from repro.cpu.branch import GsharePredictor
+from repro.cpu.funits import FunctionalUnits
+from repro.cpu.storesets import StoreTracker
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.stats import Accumulator
+from repro.trace.record import InstrKind, TraceRecord
+
+#: Safety valve: if nothing retires for this many cycles, the model is wedged.
+_DEADLOCK_CYCLES = 100_000
+
+
+class _Instr:
+    """Book-keeping for one in-flight instruction."""
+
+    __slots__ = (
+        "seq",
+        "kind",
+        "pc",
+        "addr",
+        "pending_deps",
+        "dependents",
+        "issued",
+        "completed",
+        "complete_cycle",
+        "forward_from",
+    )
+
+    def __init__(self, seq: int, record: TraceRecord) -> None:
+        self.seq = seq
+        self.kind = record.kind
+        self.pc = record.pc
+        self.addr = record.addr
+        self.pending_deps = 0
+        self.dependents: List["_Instr"] = []
+        self.issued = False
+        self.completed = False
+        self.complete_cycle = -1
+        self.forward_from: Optional[int] = None  # store seq feeding this load
+
+
+class CoreStats:
+    """Post-warm-up statistics for one simulation."""
+
+    def __init__(self) -> None:
+        self.cycles = 0
+        self.retired = 0
+        self.loads = 0
+        self.stores = 0
+        self.branches = 0
+        self.forwarded_loads = 0
+        self.load_latency = Accumulator("load-latency")
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.retired / self.cycles
+
+    @property
+    def load_fraction(self) -> float:
+        if self.retired == 0:
+            return 0.0
+        return self.loads / self.retired
+
+    @property
+    def store_fraction(self) -> float:
+        if self.retired == 0:
+            return 0.0
+        return self.stores / self.retired
+
+
+class OutOfOrderCore:
+    """Executes a trace against a memory hierarchy, cycle by cycle."""
+
+    def __init__(self, config: CoreConfig, hierarchy: MemoryHierarchy) -> None:
+        self.config = config
+        self.hierarchy = hierarchy
+        self.branch_predictor = GsharePredictor(config.gshare_history_bits)
+        self.funits = FunctionalUnits(config)
+        self.store_tracker = StoreTracker(config.disambiguation)
+        self.stats = CoreStats()
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        trace: Iterable[TraceRecord],
+        max_instructions: Optional[int] = None,
+        warmup_instructions: int = 0,
+        on_warmup_end: Optional[Callable[[], None]] = None,
+    ) -> CoreStats:
+        """Simulate ``trace`` to completion; return post-warm-up stats.
+
+        ``warmup_instructions`` retire before statistics begin; at that
+        point ``on_warmup_end`` (if given) is invoked so callers can reset
+        prefetcher/hierarchy statistics too.
+        """
+        source: Iterator[TraceRecord] = iter(trace)
+        config = self.config
+        hierarchy = self.hierarchy
+        prefetcher = hierarchy.prefetcher
+        rob: List[_Instr] = []  # used as a deque via head index
+        rob_head = 0
+        alive: Dict[int, _Instr] = {}
+        completions: List[tuple] = []
+        ready: List[_Instr] = []
+        lsq_occupancy = 0
+        seq = 0
+        fetched = 0
+        retired = 0
+        cycle = 0
+        trace_done = False
+        pending_record: Optional[TraceRecord] = None
+        stall_branch: Optional[_Instr] = None
+        last_retire_cycle = 0
+        warmup_cycle = 0
+        warmup_retired = 0
+        warmup_pending = warmup_instructions > 0
+        loads = stores = branches = forwarded = 0
+
+        def rob_size() -> int:
+            return len(rob) - rob_head
+
+        while True:
+            self.funits.new_cycle(cycle)
+
+            # ---- complete ------------------------------------------------
+            while completions and completions[0][0] <= cycle:
+                __, __, instr = heapq.heappop(completions)
+                instr.completed = True
+                for dependent in instr.dependents:
+                    dependent.pending_deps -= 1
+                    if dependent.pending_deps == 0 and not dependent.issued:
+                        ready.append(dependent)
+                instr.dependents = []
+
+            # ---- retire --------------------------------------------------
+            retired_this_cycle = 0
+            while (
+                rob_head < len(rob)
+                and rob[rob_head].completed
+                and retired_this_cycle < config.retire_width
+            ):
+                instr = rob[rob_head]
+                rob[rob_head] = None  # free the reference
+                rob_head += 1
+                retired_this_cycle += 1
+                retired += 1
+                last_retire_cycle = cycle
+                alive.pop(instr.seq, None)
+                if instr.kind == InstrKind.LOAD:
+                    loads += 1
+                    lsq_occupancy -= 1
+                elif instr.kind == InstrKind.STORE:
+                    stores += 1
+                    lsq_occupancy -= 1
+                    self.store_tracker.note_store_retired(instr.seq, instr.addr)
+                elif instr.kind == InstrKind.BRANCH:
+                    branches += 1
+                if warmup_pending and retired >= warmup_instructions:
+                    warmup_pending = False
+                    warmup_cycle = cycle
+                    warmup_retired = retired
+                    loads = stores = branches = forwarded = 0
+                    self.stats.load_latency.reset()
+                    self.branch_predictor.reset_stats()
+                    self.store_tracker.reset_stats()
+                    if on_warmup_end is not None:
+                        on_warmup_end()
+            if rob_head > 4096 and rob_head == len(rob):
+                rob = []
+                rob_head = 0
+
+            # ---- fetch / dispatch ---------------------------------------
+            if stall_branch is not None:
+                if (
+                    stall_branch.complete_cycle >= 0
+                    and cycle >= stall_branch.complete_cycle + config.mispredict_penalty
+                ):
+                    stall_branch = None
+            if stall_branch is None and not trace_done:
+                branches_this_cycle = 0
+                for __ in range(config.fetch_width):
+                    if rob_size() >= config.rob_entries:
+                        break
+                    if max_instructions is not None and fetched >= max_instructions:
+                        trace_done = True
+                        break
+                    if pending_record is not None:
+                        record = pending_record
+                        pending_record = None
+                    else:
+                        record = next(source, None)
+                        if record is None:
+                            trace_done = True
+                            break
+                    if record.is_memory and lsq_occupancy >= config.lsq_entries:
+                        pending_record = record
+                        break
+                    if record.is_branch:
+                        if branches_this_cycle >= config.branch_predictions_per_cycle:
+                            pending_record = record
+                            break
+                        branches_this_cycle += 1
+
+                    instr = _Instr(seq, record)
+                    alive[seq] = instr
+                    seq += 1
+                    fetched += 1
+                    if record.is_memory:
+                        lsq_occupancy += 1
+
+                    self._register_dependences(instr, record, alive)
+                    if record.is_store:
+                        self.store_tracker.note_store_dispatched(
+                            instr.seq, instr.addr
+                        )
+                    rob.append(instr)
+                    if instr.pending_deps == 0:
+                        ready.append(instr)
+                    if record.is_branch:
+                        correct = self.branch_predictor.update(
+                            record.pc, record.taken
+                        )
+                        if not correct:
+                            stall_branch = instr
+                            break
+
+            # ---- issue ---------------------------------------------------
+            if ready:
+                issued_count = 0
+                still_waiting: List[_Instr] = []
+                for instr in ready:
+                    if issued_count >= config.issue_width or not self.funits.can_issue(
+                        instr.kind
+                    ):
+                        still_waiting.append(instr)
+                        continue
+                    issued_count += 1
+                    self.funits.issue(instr.kind)
+                    instr.issued = True
+                    complete = self._execute(instr, cycle)
+                    instr.complete_cycle = complete
+                    if instr.kind == InstrKind.LOAD:
+                        self.stats.load_latency.add(complete - cycle)
+                        if instr.forward_from is not None:
+                            forwarded += 1
+                    heapq.heappush(completions, (complete, instr.seq, instr))
+                ready = still_waiting
+
+            # ---- prefetcher gets its cycle -------------------------------
+            prefetcher.tick(cycle)
+
+            # ---- termination / deadlock ----------------------------------
+            if trace_done and rob_head >= len(rob):
+                break
+            if cycle - last_retire_cycle > _DEADLOCK_CYCLES:
+                raise RuntimeError(
+                    f"core wedged: no retirement since cycle {last_retire_cycle}"
+                )
+            cycle += 1
+
+        stats = self.stats
+        stats.cycles = max(1, cycle - warmup_cycle)
+        stats.retired = retired - warmup_retired
+        stats.loads = loads
+        stats.stores = stores
+        stats.branches = branches
+        stats.forwarded_loads = forwarded
+        return stats
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _register_dependences(
+        self, instr: _Instr, record: TraceRecord, alive: Dict[int, _Instr]
+    ) -> None:
+        """Wire register and memory-ordering dependences for ``instr``."""
+
+        def depend_on(producer_seq: int) -> None:
+            producer = alive.get(producer_seq)
+            if producer is not None and not producer.completed:
+                producer.dependents.append(instr)
+                instr.pending_deps += 1
+
+        if record.dep1 > 0:
+            depend_on(instr.seq - record.dep1)
+        if record.dep2 > 0 and record.dep2 != record.dep1:
+            depend_on(instr.seq - record.dep2)
+
+        if record.is_load:
+            store_seq = self.store_tracker.dependence_for_load(record.addr)
+            if store_seq is not None:
+                depend_on(store_seq)
+            forward_seq = self.store_tracker.forwards(record.addr)
+            if forward_seq is not None:
+                instr.forward_from = forward_seq
+        elif record.is_store:
+            if self.config.disambiguation == DisambiguationPolicy.NO_DISAMBIGUATION:
+                # Chain stores so they issue in order; combined with the
+                # load->previous-store edge this makes every load wait for
+                # all prior stores, the paper's "NoDis" behaviour.
+                previous = self.store_tracker.previous_store()
+                if previous is not None:
+                    depend_on(previous)
+
+    def _execute(self, instr: _Instr, cycle: int) -> int:
+        """Begin execution at ``cycle``; return the completion cycle."""
+        kind = instr.kind
+        if kind == InstrKind.LOAD:
+            if instr.forward_from is not None:
+                # Same-word store still in the window: forward, skip the
+                # cache entirely (and therefore skip prefetcher training).
+                return cycle + self.config.store_forward_latency
+            result = self.hierarchy.access(
+                instr.pc, instr.addr, cycle, is_store=False
+            )
+            return result.complete_cycle
+        if kind == InstrKind.STORE:
+            # Stores access the hierarchy for bandwidth/state effects but
+            # do not stall the window on a miss.
+            self.hierarchy.access(instr.pc, instr.addr, cycle, is_store=True)
+            return cycle + 1
+        return cycle + self.funits.latency_of(kind)

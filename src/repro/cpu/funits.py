@@ -1,0 +1,86 @@
+"""Functional-unit pools (Section 5.1).
+
+The baseline core has 8 integer ALUs, 4 load/store units, 2 FP adders,
+2 integer multiply/divide units, and 2 FP multiply/divide units.  Every
+unit is fully pipelined (one new operation per cycle per unit) except
+the dividers, which occupy their unit for the whole operation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import CoreConfig
+from repro.trace.record import OP_LATENCY, UNPIPELINED_KINDS, InstrKind
+
+#: Which pool serves each instruction kind.
+_POOL_OF_KIND = {
+    InstrKind.IALU: "int_alu",
+    InstrKind.BRANCH: "int_alu",
+    InstrKind.NOP: "int_alu",
+    InstrKind.IMUL: "int_mul_div",
+    InstrKind.IDIV: "int_mul_div",
+    InstrKind.FADD: "fp_add",
+    InstrKind.FMUL: "fp_mul_div",
+    InstrKind.FDIV: "fp_mul_div",
+    InstrKind.LOAD: "load_store",
+    InstrKind.STORE: "load_store",
+}
+
+
+class FunctionalUnits:
+    """Tracks per-cycle issue slots and divider occupancy."""
+
+    def __init__(self, config: CoreConfig) -> None:
+        self._capacity: Dict[str, int] = {
+            "int_alu": config.int_alu_units,
+            "load_store": config.load_store_units,
+            "fp_add": config.fp_add_units,
+            "int_mul_div": config.int_mul_div_units,
+            "fp_mul_div": config.fp_mul_div_units,
+        }
+        # Pipelined pools: how many ops each pool accepted *this cycle*.
+        self._issued_this_cycle: Dict[str, int] = {
+            name: 0 for name in self._capacity
+        }
+        # Unpipelined dividers: per-pool list of unit-free cycles.
+        self._divider_free_at: Dict[str, List[int]] = {
+            "int_mul_div": [0] * config.int_mul_div_units,
+            "fp_mul_div": [0] * config.fp_mul_div_units,
+        }
+        self._current_cycle = 0
+
+    def new_cycle(self, cycle: int) -> None:
+        """Reset the per-cycle issue slots at the start of ``cycle``."""
+        self._current_cycle = cycle
+        for name in self._issued_this_cycle:
+            self._issued_this_cycle[name] = 0
+
+    def latency_of(self, kind: InstrKind) -> int:
+        return OP_LATENCY[kind]
+
+    def can_issue(self, kind: InstrKind) -> bool:
+        """Whether a ``kind`` operation can begin this cycle."""
+        pool = _POOL_OF_KIND[kind]
+        if self._issued_this_cycle[pool] >= self._capacity[pool]:
+            return False
+        if kind in UNPIPELINED_KINDS:
+            free_times = self._divider_free_at[pool]
+            return any(free <= self._current_cycle for free in free_times)
+        return True
+
+    def issue(self, kind: InstrKind) -> int:
+        """Claim a unit for this cycle; return the operation latency.
+
+        Callers must check :meth:`can_issue` first.
+        """
+        pool = _POOL_OF_KIND[kind]
+        self._issued_this_cycle[pool] += 1
+        latency = OP_LATENCY[kind]
+        if kind in UNPIPELINED_KINDS:
+            free_times = self._divider_free_at[pool]
+            for index, free in enumerate(free_times):
+                if free <= self._current_cycle:
+                    free_times[index] = self._current_cycle + latency
+                    break
+        return latency

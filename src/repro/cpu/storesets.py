@@ -1,0 +1,77 @@
+"""Load/store disambiguation policies (Section 6.1).
+
+The paper runs its main results with *perfect store sets* (Chrysos and
+Emer, modelled as an oracle): a load depends only on in-flight stores
+that actually write the same memory word, and receives the value via a
+2-cycle store-to-load forward.  The contrast configuration, *no
+disambiguation*, makes every load wait until all prior stores have
+issued.  :class:`StoreTracker` computes the extra dependence each load
+needs under either policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.config import DisambiguationPolicy
+
+#: Stores and loads conflict at this granularity.
+WORD_BYTES = 8
+
+
+def word_of(address: int) -> int:
+    return address & ~(WORD_BYTES - 1)
+
+
+class StoreTracker:
+    """Tracks in-flight stores and answers "what must this load wait for?"."""
+
+    def __init__(self, policy: DisambiguationPolicy) -> None:
+        self.policy = policy
+        self._last_store_seq: Optional[int] = None
+        self._store_by_word: Dict[int, int] = {}  # word -> youngest store seq
+        self.forwarded_loads = 0
+        self.serialized_loads = 0
+
+    def note_store_dispatched(self, seq: int, address: int) -> None:
+        """Record a store entering the window, in program order."""
+        self._last_store_seq = seq
+        self._store_by_word[word_of(address)] = seq
+
+    def note_store_retired(self, seq: int, address: int) -> None:
+        """Forget a store once it leaves the window."""
+        word = word_of(address)
+        if self._store_by_word.get(word) == seq:
+            del self._store_by_word[word]
+        if self._last_store_seq == seq:
+            self._last_store_seq = None
+
+    def dependence_for_load(self, address: int) -> Optional[int]:
+        """Sequence number of the store this load must wait for, if any.
+
+        Under perfect store sets only a same-word store creates a
+        dependence (and implies forwarding).  Under no-disambiguation the
+        load is serialized behind the most recent prior store, whatever
+        its address — and because stores are themselves chained in order,
+        this makes the load wait for *all* prior stores.
+        """
+        if self.policy == DisambiguationPolicy.PERFECT_STORE_SETS:
+            seq = self._store_by_word.get(word_of(address))
+            if seq is not None:
+                self.forwarded_loads += 1
+            return seq
+        if self._last_store_seq is not None:
+            self.serialized_loads += 1
+        return self._last_store_seq
+
+    def forwards(self, address: int) -> Optional[int]:
+        """Seq of an in-flight same-word store whose data this load gets."""
+        return self._store_by_word.get(word_of(address))
+
+    def previous_store(self) -> Optional[int]:
+        """Most recent in-flight store (used to chain stores in order)."""
+        return self._last_store_seq
+
+    def reset_stats(self) -> None:
+        self.forwarded_loads = 0
+        self.serialized_loads = 0

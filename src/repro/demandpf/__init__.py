@@ -1,0 +1,24 @@
+"""Demand-based prefetchers from the paper's Section 3.2.
+
+These are the *prior-art* models the paper positions stream buffers
+against: they only act when a demand event (miss or tagged access)
+occurs, rather than running decoupled down a predicted stream.
+
+- :class:`NextLinePrefetcher` — Smith's tagged next-line prefetching.
+- :class:`DemandMarkovPrefetcher` — Joseph & Grunwald's Markov
+  prefetcher with two-bit accuracy-based adaptivity.
+
+Both fill a small fully associative :class:`PrefetchBuffer` probed in
+parallel with the L1, mirroring how the originals kept prefetched data
+out of the cache proper.
+"""
+
+from repro.demandpf.buffer import PrefetchBuffer
+from repro.demandpf.markov_prefetcher import DemandMarkovPrefetcher
+from repro.demandpf.nextline import NextLinePrefetcher
+
+__all__ = [
+    "PrefetchBuffer",
+    "DemandMarkovPrefetcher",
+    "NextLinePrefetcher",
+]

@@ -1,0 +1,55 @@
+"""A small fully associative prefetch buffer.
+
+Demand-based prefetchers (next-line, Markov) park their prefetched
+blocks here rather than polluting the L1; demand lookups probe it in
+parallel with the cache, and a hit promotes the block into the L1 (the
+hierarchy handles that part, exactly as for stream-buffer hits).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+
+class PrefetchBuffer:
+    """LRU-replaced block store: block address -> ready cycle."""
+
+    def __init__(self, entries: int = 16) -> None:
+        if entries < 1:
+            raise ValueError("prefetch buffer needs at least one entry")
+        self.entries = entries
+        self._blocks: OrderedDict = OrderedDict()
+        self.inserted = 0
+        self.hits = 0
+        self.evicted_unused = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def contains(self, block: int) -> bool:
+        return block in self._blocks
+
+    def insert(self, block: int, ready_cycle: int) -> None:
+        """Add a prefetched block; LRU-evict if full."""
+        if block in self._blocks:
+            self._blocks.move_to_end(block)
+            return
+        if len(self._blocks) >= self.entries:
+            self._blocks.popitem(last=False)
+            self.evicted_unused += 1
+        self._blocks[block] = ready_cycle
+        self.inserted += 1
+
+    def take(self, block: int) -> Optional[int]:
+        """Remove and return the ready cycle of ``block`` on a hit."""
+        ready = self._blocks.pop(block, None)
+        if ready is not None:
+            self.hits += 1
+        return ready
+
+    @property
+    def useful_fraction(self) -> float:
+        if self.inserted == 0:
+            return 0.0
+        return self.hits / self.inserted

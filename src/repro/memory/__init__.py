@@ -1,0 +1,24 @@
+"""Memory-hierarchy substrate: caches, MSHRs, buses, DRAM, and TLB.
+
+The hierarchy matches Section 5.1 of the paper: an L1 data cache backed by
+a unified, pipelined L2 and main memory, with occupancy-modelled buses
+between each pair of levels.  Stream-buffer prefetchers plug into
+:class:`~repro.memory.hierarchy.MemoryHierarchy` between the L1 and L2.
+"""
+
+from repro.memory.bus import Bus
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.dram import MainMemory
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy
+from repro.memory.mshr import MshrFile
+from repro.memory.tlb import DataTlb
+
+__all__ = [
+    "Bus",
+    "SetAssociativeCache",
+    "MainMemory",
+    "AccessResult",
+    "MemoryHierarchy",
+    "MshrFile",
+    "DataTlb",
+]

@@ -1,0 +1,98 @@
+"""Occupancy-modelled buses.
+
+The paper rewrote SimpleScalar's memory hierarchy "to better model bus
+occupancy, bandwidth, and pipelining" and gates prefetches on the L1-L2
+bus being free at the start of a cycle.  :class:`Bus` captures that with
+an *interval reservation* model: a transaction occupies the bus only for
+the cycles its bytes are actually moving, so the window between a miss
+request going down and its refill coming back stays free — exactly the
+slack stream-buffer prefetches live off.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.config import BusConfig
+
+
+class Bus:
+    """A single-transaction bus with a bytes-per-cycle bandwidth limit.
+
+    Reservations are half-open ``[start, end)`` intervals, kept sorted
+    and non-overlapping.  ``acquire`` books the earliest gap that fits.
+    """
+
+    def __init__(self, config: BusConfig) -> None:
+        self.config = config
+        self._reservations: List[Tuple[int, int]] = []
+        self.busy_cycles = 0
+        self.transactions = 0
+
+    def prune_before(self, cycle: int) -> None:
+        """Forget reservations that ended at or before ``cycle``.
+
+        Only safe with the *simulation clock* (monotone): an ``acquire``
+        may book far in the future and must not erase reservations that
+        earlier-cycle callers still contend with.
+        """
+        reservations = self._reservations
+        drop = 0
+        for start, end in reservations:
+            if end <= cycle:
+                drop += 1
+            else:
+                break
+        if drop:
+            del reservations[:drop]
+
+    def is_free_at(self, cycle: int) -> bool:
+        """True when no transaction occupies the bus at ``cycle``."""
+        self.prune_before(cycle)
+        for start, end in self._reservations:
+            if start > cycle:
+                return True
+            if start <= cycle < end:
+                return False
+        return True
+
+    def transfer_cycles(self, num_bytes: int) -> int:
+        """Cycles required to move ``num_bytes`` at this bus's bandwidth."""
+        return self.config.transfer_cycles(num_bytes)
+
+    def acquire(self, earliest_cycle: int, num_bytes: int) -> int:
+        """Reserve the earliest gap fitting a ``num_bytes`` transfer.
+
+        Returns the cycle the transfer *starts*; it completes
+        ``transfer_cycles(num_bytes)`` later.
+        """
+        duration = self.transfer_cycles(num_bytes)
+        reservations = self._reservations
+        start = earliest_cycle
+        position = 0
+        for index, (busy_start, busy_end) in enumerate(reservations):
+            if start + duration <= busy_start:
+                position = index
+                break
+            start = max(start, busy_end)
+            position = index + 1
+        reservations.insert(position, (start, start + duration))
+        self.busy_cycles += duration
+        self.transactions += 1
+        return start
+
+    def utilization(self, total_cycles: int) -> float:
+        """Fraction of ``total_cycles`` the bus spent busy."""
+        if total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / total_cycles)
+
+    def reset_stats(self) -> None:
+        self.busy_cycles = 0
+        self.transactions = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Bus({self.config.name}: pending={len(self._reservations)}, "
+            f"busy={self.busy_cycles})"
+        )

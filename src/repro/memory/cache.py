@@ -1,0 +1,125 @@
+"""Set-associative cache with true-LRU replacement.
+
+The cache stores *block addresses* only — this is a timing simulator, so
+no data payloads are modelled.  A block is resident from the cycle its
+fill completes until it is evicted; in-flight blocks live in the MSHR
+file, not here, which gives the paper's miss accounting for free
+(Section 6: "accesses to in-flight data count as cache misses").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from repro.config import CacheConfig
+from repro.utils import block_address
+
+
+class SetAssociativeCache:
+    """A tag store: ``num_sets`` sets of ``associativity`` LRU-ordered ways."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.block_size = config.block_size
+        self.num_sets = config.num_sets
+        self.associativity = config.associativity
+        # Each set maps block address -> dirty flag, in LRU -> MRU order.
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    def _set_for(self, block_addr: int) -> OrderedDict:
+        index = (block_addr // self.block_size) % self.num_sets
+        return self._sets[index]
+
+    def align(self, address: int) -> int:
+        """Align a byte address down to this cache's block boundary."""
+        return block_address(address, self.block_size)
+
+    def probe(self, address: int) -> bool:
+        """Tag check without touching LRU state or statistics."""
+        block = self.align(address)
+        return block in self._set_for(block)
+
+    def access(self, address: int, is_store: bool = False) -> bool:
+        """Demand access: returns hit/miss, updates LRU and statistics."""
+        block = self.align(address)
+        cache_set = self._set_for(block)
+        self.accesses += 1
+        if block in cache_set:
+            cache_set.move_to_end(block)
+            if is_store:
+                cache_set[block] = True
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, address: int, dirty: bool = False) -> Optional[Tuple[int, bool]]:
+        """Fill a block; return the evicted ``(block, dirty)`` pair, if any.
+
+        Filling a block that is already resident just refreshes its LRU
+        position (and may add the dirty bit); nothing is evicted.
+        """
+        block = self.align(address)
+        cache_set = self._set_for(block)
+        if block in cache_set:
+            cache_set.move_to_end(block)
+            if dirty:
+                cache_set[block] = True
+            return None
+        victim = None
+        if len(cache_set) >= self.associativity:
+            victim_block, victim_dirty = cache_set.popitem(last=False)
+            victim = (victim_block, victim_dirty)
+            self.evictions += 1
+            if victim_dirty:
+                self.dirty_evictions += 1
+        cache_set[block] = dirty
+        return victim
+
+    def mark_dirty(self, address: int) -> bool:
+        """Set the dirty bit on a resident block; returns False if absent."""
+        block = self.align(address)
+        cache_set = self._set_for(block)
+        if block not in cache_set:
+            return False
+        cache_set[block] = True
+        return True
+
+    def invalidate(self, address: int) -> bool:
+        """Drop a block if resident; returns whether anything was removed."""
+        block = self.align(address)
+        cache_set = self._set_for(block)
+        if block in cache_set:
+            del cache_set[block]
+            return True
+        return False
+
+    @property
+    def resident_blocks(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset_stats(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SetAssociativeCache({self.config.name}: "
+            f"{self.config.size_bytes}B {self.associativity}-way "
+            f"{self.block_size}B lines, MR={self.miss_rate:.3f})"
+        )

@@ -1,0 +1,35 @@
+"""Main-memory model.
+
+DRAM is a fixed-latency device behind the L2-to-memory bus: an access
+costs :attr:`MemoryConfig.access_latency` cycles, and moving the L2 block
+over the 4 bytes/cycle bus adds the transfer time on top (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from repro.config import MemoryConfig
+from repro.memory.bus import Bus
+
+
+class MainMemory:
+    """Fixed-latency DRAM reached over a shared bus."""
+
+    def __init__(self, config: MemoryConfig, bus: Bus) -> None:
+        self.config = config
+        self.bus = bus
+        self.accesses = 0
+
+    def access(self, earliest_cycle: int, num_bytes: int) -> int:
+        """Fetch ``num_bytes`` starting no earlier than ``earliest_cycle``.
+
+        Returns the cycle the data is fully delivered to the L2.  The bus
+        is held for the block transfer; the DRAM array access itself
+        happens before the transfer begins.
+        """
+        self.accesses += 1
+        ready_to_transfer = earliest_cycle + self.config.access_latency
+        transfer_start = self.bus.acquire(ready_to_transfer, num_bytes)
+        return transfer_start + self.bus.transfer_cycles(num_bytes)
+
+    def reset_stats(self) -> None:
+        self.accesses = 0

@@ -1,0 +1,68 @@
+"""Miss Status Holding Registers.
+
+MSHRs track cache blocks that have been requested but have not yet
+arrived.  A second miss to an in-flight block merges into the existing
+entry instead of issuing a duplicate request; per the paper's accounting
+(Section 6) such merged accesses still count as cache misses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class MshrFile:
+    """A finite file of outstanding block fills, keyed by block address."""
+
+    def __init__(self, num_entries: int) -> None:
+        if num_entries < 1:
+            raise ValueError("an MSHR file needs at least one entry")
+        self.num_entries = num_entries
+        self._inflight: Dict[int, int] = {}  # block address -> ready cycle
+        self.allocations = 0
+        self.merges = 0
+        self.full_stalls = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def lookup(self, block_addr: int) -> Optional[int]:
+        """Return the ready cycle of an in-flight block, or None."""
+        return self._inflight.get(block_addr)
+
+    def is_full(self) -> bool:
+        return len(self._inflight) >= self.num_entries
+
+    def earliest_ready(self) -> int:
+        """Cycle at which the soonest in-flight fill completes."""
+        if not self._inflight:
+            raise ValueError("no in-flight entries")
+        return min(self._inflight.values())
+
+    def allocate(self, block_addr: int, ready_cycle: int) -> None:
+        """Record a new outstanding fill for ``block_addr``."""
+        if block_addr in self._inflight:
+            raise ValueError(f"block {block_addr:#x} already in flight")
+        if self.is_full():
+            raise ValueError("MSHR file is full")
+        self._inflight[block_addr] = ready_cycle
+        self.allocations += 1
+
+    def merge(self, block_addr: int) -> int:
+        """Merge a secondary miss into an existing entry; return ready cycle."""
+        self.merges += 1
+        return self._inflight[block_addr]
+
+    def retire_ready(self, cycle: int) -> list:
+        """Remove and return block addresses whose fills completed by ``cycle``."""
+        done = [blk for blk, ready in self._inflight.items() if ready <= cycle]
+        for blk in done:
+            del self._inflight[blk]
+        return done
+
+    def note_full_stall(self) -> None:
+        self.full_stalls += 1
+
+    def in_flight_blocks(self) -> Dict[int, int]:
+        """A copy of the in-flight map (for tests and introspection)."""
+        return dict(self._inflight)

@@ -1,0 +1,149 @@
+"""Bekerman et al.'s correlated base-address predictor (Section 2.2).
+
+For every load, a first-level table keyed by PC holds a short history of
+past *base addresses* (the effective address minus the load's static
+offset) plus the static offset itself.  The folded history indexes a
+second-level table holding a predicted base address; the prediction is
+``base + offset``.  Using base addresses correlates loads that access
+different fields of the same object.
+
+The paper simulated this predictor alongside SFM and "saw little to no
+improvement in prediction accuracy and coverage over first order Markov"
+for its benchmarks, because correlated loads tended to land in the same
+cache block — a claim ``benchmarks/bench_ablation_correlated.py``
+re-measures.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Deque, Optional
+
+from collections import deque
+
+from repro.predictors.base import AddressPredictor, StreamState
+from repro.predictors.saturating import SaturatingCounter
+
+
+class _LoadEntry:
+    """First-level entry: per-load base-address history and offset."""
+
+    __slots__ = ("offset", "history", "confidence", "last_address")
+
+    def __init__(self, history_depth: int, confidence_max: int) -> None:
+        self.offset = 0
+        self.history: Deque[int] = deque(maxlen=history_depth)
+        self.confidence = SaturatingCounter(maximum=confidence_max)
+        self.last_address = 0
+
+
+class CorrelatedAddressPredictor(AddressPredictor):
+    """Two-level base-address correlation (history -> next base)."""
+
+    def __init__(
+        self,
+        first_level_entries: int = 256,
+        second_level_entries: int = 4096,
+        history_depth: int = 4,
+        offset_mask: int = 0xFF,
+        confidence_max: int = 7,
+    ) -> None:
+        self.first_level_entries = first_level_entries
+        self.second_level_entries = second_level_entries
+        self.history_depth = history_depth
+        self.offset_mask = offset_mask
+        self.confidence_max = confidence_max
+        self._loads: OrderedDict = OrderedDict()  # pc -> _LoadEntry
+        self._bases = {}  # folded history -> predicted base
+        self.trains = 0
+        self.correct_trains = 0
+
+    def _entry_for(self, pc: int) -> _LoadEntry:
+        entry = self._loads.get(pc)
+        if entry is None:
+            if len(self._loads) >= self.first_level_entries:
+                self._loads.popitem(last=False)
+            entry = _LoadEntry(self.history_depth, self.confidence_max)
+            self._loads[pc] = entry
+        else:
+            self._loads.move_to_end(pc)
+        return entry
+
+    def _base_of(self, address: int) -> int:
+        return address & ~self.offset_mask
+
+    def _fold(self, history) -> Optional[int]:
+        if len(history) < self.history_depth:
+            return None
+        return hash(tuple(history)) % self.second_level_entries
+
+    def _predict_from(self, entry: _LoadEntry) -> Optional[int]:
+        index = self._fold(entry.history)
+        if index is None:
+            return None
+        slot = self._bases.get(index)
+        if slot is None or slot[0] != tuple(entry.history):
+            return None
+        return slot[1] + entry.offset
+
+    # ------------------------------------------------------------------
+    # AddressPredictor interface
+    # ------------------------------------------------------------------
+
+    def train(self, pc: int, address: int) -> bool:
+        """Fold one miss into the two-level structure."""
+        self.trains += 1
+        entry = self._entry_for(pc)
+        entry.offset = address & self.offset_mask
+        base = self._base_of(address)
+        predicted = self._predict_from(entry)
+        correct = predicted == address
+        if correct:
+            entry.confidence.increment()
+            self.correct_trains += 1
+        else:
+            entry.confidence.decrement()
+        index = self._fold(entry.history)
+        if index is not None:
+            self._bases[index] = (tuple(entry.history), base)
+        entry.history.append(base)
+        entry.last_address = address
+        return correct
+
+    def make_stream_state(self, pc: int, address: int) -> StreamState:
+        entry = self._entry_for(pc)
+        return StreamState(
+            pc,
+            address,
+            confidence=int(entry.confidence),
+            history=list(entry.history),
+        )
+
+    def next_prediction(self, state: StreamState) -> Optional[int]:
+        if len(state.history) < self.history_depth:
+            return None
+        index = hash(tuple(state.history[-self.history_depth:])) % (
+            self.second_level_entries
+        )
+        slot = self._bases.get(index)
+        if slot is None or slot[0] != tuple(state.history[-self.history_depth:]):
+            return None
+        base = slot[1]
+        state.history.append(base)
+        if len(state.history) > self.history_depth:
+            del state.history[: len(state.history) - self.history_depth]
+        state.last_address = base
+        return base
+
+    def confidence_for(self, pc: int) -> int:
+        entry = self._loads.get(pc)
+        return int(entry.confidence) if entry is not None else 0
+
+    def allocation_ready(self, pc: int) -> bool:
+        return self.confidence_for(pc) >= 1
+
+    @property
+    def accuracy(self) -> float:
+        if self.trains == 0:
+            return 0.0
+        return self.correct_trains / self.trains

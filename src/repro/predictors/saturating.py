@@ -1,0 +1,48 @@
+"""Saturating counters.
+
+The paper uses saturating counters in three roles: per-load accuracy
+confidence (saturates at 7), per-buffer priority (saturates at 12), and
+the two-bit adaptivity counters of prior work it discusses.  One class
+serves all of them.
+"""
+
+from __future__ import annotations
+
+
+class SaturatingCounter:
+    """An integer counter clamped to ``[minimum, maximum]``."""
+
+    __slots__ = ("value", "minimum", "maximum")
+
+    def __init__(self, maximum: int, initial: int = 0, minimum: int = 0) -> None:
+        if maximum < minimum:
+            raise ValueError("maximum must be >= minimum")
+        if not minimum <= initial <= maximum:
+            raise ValueError("initial value outside counter range")
+        self.minimum = minimum
+        self.maximum = maximum
+        self.value = initial
+
+    def increment(self, amount: int = 1) -> int:
+        self.value = min(self.maximum, self.value + amount)
+        return self.value
+
+    def decrement(self, amount: int = 1) -> int:
+        self.value = max(self.minimum, self.value - amount)
+        return self.value
+
+    def set(self, value: int) -> None:
+        """Clamp ``value`` into range and store it."""
+        self.value = max(self.minimum, min(self.maximum, value))
+
+    def at_least(self, threshold: int) -> bool:
+        return self.value >= threshold
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return (
+            f"SaturatingCounter({self.value} in "
+            f"[{self.minimum},{self.maximum}])"
+        )

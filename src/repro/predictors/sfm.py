@@ -1,0 +1,122 @@
+"""The Stride-Filtered Markov (SFM) predictor (Section 4.2).
+
+A two-delta stride table sits in front of a differential Markov table:
+
+- **Training** (write-back, L1 misses only): the load's PC indexes the
+  stride table.  If the newly observed stride matches neither the last
+  stride nor the two-delta stride, the transition ``last address ->
+  current address`` is recorded in the Markov table.  Stride-predictable
+  loads therefore never pollute the Markov table — that is the filter.
+- **Prediction** (one per cycle, shared by all stream buffers): the
+  stream's last address is looked up in the Markov table *and* advanced
+  by the stream's fixed stride; a Markov hit wins, otherwise the stride
+  address is used.
+- **Confidence**: each stride-table entry carries an accuracy counter,
+  incremented when a miss matched either component's prediction and
+  decremented otherwise.  Stream-buffer allocation copies it (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import MarkovPredictorConfig, StridePredictorConfig
+from repro.predictors.base import AddressPredictor, StreamState
+from repro.predictors.markov import DifferentialMarkovTable, MarkovTable
+from repro.predictors.stride import TwoDeltaStrideTable
+
+
+class StrideFilteredMarkovPredictor(AddressPredictor):
+    """Two-delta stride filter in front of a (differential) Markov table."""
+
+    def __init__(
+        self,
+        stride_config: Optional[StridePredictorConfig] = None,
+        markov_config: Optional[MarkovPredictorConfig] = None,
+    ) -> None:
+        self.stride_table = TwoDeltaStrideTable(stride_config)
+        markov_config = markov_config or MarkovPredictorConfig()
+        if markov_config.differential:
+            self.markov_table = DifferentialMarkovTable(markov_config)
+        else:
+            self.markov_table = MarkovTable(markov_config.entries)
+        self.trains = 0
+        self.correct_trains = 0
+        self.markov_predictions = 0
+        self.stride_predictions = 0
+
+    # ------------------------------------------------------------------
+    # Training (write-back stage, misses only)
+    # ------------------------------------------------------------------
+
+    def train(self, pc: int, address: int) -> bool:
+        """Observe one L1 data-cache miss; update both tables."""
+        self.trains += 1
+        entry = self.stride_table.lookup(pc)
+        if entry is None:
+            self.stride_table._allocate(pc, address)
+            return False
+
+        stride_prediction = entry.predicted_address
+        markov_prediction = self.markov_table.lookup(entry.last_address)
+        correct = address == stride_prediction or (
+            markov_prediction is not None and address == markov_prediction
+        )
+        if correct:
+            entry.confidence.increment()
+            entry.consecutive_correct += 1
+            self.correct_trains += 1
+        else:
+            entry.confidence.decrement()
+            entry.consecutive_correct = 0
+
+        last_address = entry.last_address
+        new_stride = address - last_address
+        stride_covered = (
+            new_stride == entry.last_stride or new_stride == entry.two_delta_stride
+        )
+        entry.observe(address)
+        if not stride_covered:
+            # Not stride-predictable: record the transition in the Markov
+            # table (the "filter" of Stride-Filtered Markov).
+            self.markov_table.train(last_address, address)
+        return correct
+
+    # ------------------------------------------------------------------
+    # Stream-buffer side
+    # ------------------------------------------------------------------
+
+    def make_stream_state(self, pc: int, address: int) -> StreamState:
+        """Copy PC, address, fixed stride, and confidence on allocation."""
+        entry = self.stride_table.lookup(pc)
+        stride = entry.two_delta_stride if entry is not None else 0
+        confidence = int(entry.confidence) if entry is not None else 0
+        return StreamState(pc, address, stride=stride, confidence=confidence)
+
+    def next_prediction(self, state: StreamState) -> Optional[int]:
+        """Markov hit wins; otherwise fall back to the allocated stride."""
+        markov_prediction = self.markov_table.lookup(state.last_address)
+        if markov_prediction is not None:
+            self.markov_predictions += 1
+            state.last_address = markov_prediction
+            return markov_prediction
+        if state.stride == 0:
+            return None
+        self.stride_predictions += 1
+        state.last_address += state.stride
+        return state.last_address
+
+    def confidence_for(self, pc: int) -> int:
+        return self.stride_table.confidence_for(pc)
+
+    def allocation_ready(self, pc: int) -> bool:
+        """PSB two-miss filter: two consecutive correctly predicted misses
+        (by either the stride or the Markov component — Section 4.3)."""
+        entry = self.stride_table.lookup(pc)
+        return entry is not None and entry.consecutive_correct >= 2
+
+    @property
+    def accuracy(self) -> float:
+        if self.trains == 0:
+            return 0.0
+        return self.correct_trains / self.trains

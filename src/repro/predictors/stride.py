@@ -1,0 +1,151 @@
+"""PC-indexed two-delta stride prediction (Sections 2.1 and 3.3.2).
+
+The two-delta scheme only replaces the *predicted* stride when the same
+new stride has been seen twice in a row, which keeps one-off irregular
+accesses from destroying a stable stride.  The same table, used alone,
+is the Farkas et al. PC-stride stream-buffer baseline; filtered in front
+of a Markov table it forms the SFM predictor of Section 4.2.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from repro.config import StridePredictorConfig
+from repro.predictors.base import AddressPredictor, StreamState
+from repro.predictors.saturating import SaturatingCounter
+
+
+class StrideEntry:
+    """One load's stride-prediction state.
+
+    Tracks the last miss address, the last observed stride, the two-delta
+    (confirmed) stride, an accuracy confidence counter, and how many
+    consecutive misses were correctly predicted (for two-miss filters).
+    """
+
+    __slots__ = (
+        "pc",
+        "last_address",
+        "last_stride",
+        "two_delta_stride",
+        "confidence",
+        "consecutive_correct",
+        "consecutive_same_stride",
+    )
+
+    def __init__(self, pc: int, address: int, confidence_max: int) -> None:
+        self.pc = pc
+        self.last_address = address
+        self.last_stride = 0
+        self.two_delta_stride = 0
+        self.confidence = SaturatingCounter(maximum=confidence_max)
+        self.consecutive_correct = 0
+        self.consecutive_same_stride = 0
+
+    @property
+    def predicted_address(self) -> int:
+        return self.last_address + self.two_delta_stride
+
+    def observe(self, address: int) -> int:
+        """Fold a new miss address into the entry; return the new stride.
+
+        Implements the two-delta update: the predicted stride only changes
+        once the same new stride has been seen twice in a row.
+        """
+        stride = address - self.last_address
+        if stride == self.last_stride:
+            self.two_delta_stride = stride
+            self.consecutive_same_stride += 1
+        else:
+            self.consecutive_same_stride = 0
+        self.last_stride = stride
+        self.last_address = address
+        return stride
+
+
+class TwoDeltaStrideTable(AddressPredictor):
+    """A set-associative, PC-indexed table of :class:`StrideEntry`.
+
+    256 entries, 4-way in the paper; LRU within each set.  Doubles as the
+    complete predictor for PC-stride stream buffers.
+    """
+
+    def __init__(self, config: Optional[StridePredictorConfig] = None) -> None:
+        self.config = config or StridePredictorConfig()
+        if self.config.entries % self.config.associativity != 0:
+            raise ValueError("entries must divide evenly into ways")
+        self.num_sets = self.config.entries // self.config.associativity
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.trains = 0
+        self.correct_trains = 0
+
+    def _set_for(self, pc: int) -> OrderedDict:
+        return self._sets[pc % self.num_sets]
+
+    def lookup(self, pc: int) -> Optional[StrideEntry]:
+        """Find a load's entry without allocating; refreshes LRU on hit."""
+        table_set = self._set_for(pc)
+        entry = table_set.get(pc)
+        if entry is not None:
+            table_set.move_to_end(pc)
+        return entry
+
+    def _allocate(self, pc: int, address: int) -> StrideEntry:
+        table_set = self._set_for(pc)
+        if len(table_set) >= self.config.associativity:
+            table_set.popitem(last=False)
+        entry = StrideEntry(pc, address, self.config.confidence_max)
+        table_set[pc] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # AddressPredictor interface
+    # ------------------------------------------------------------------
+
+    def train(self, pc: int, address: int) -> bool:
+        """Write-back update for a missed load; returns prediction correctness."""
+        self.trains += 1
+        entry = self.lookup(pc)
+        if entry is None:
+            self._allocate(pc, address)
+            return False
+        correct = entry.predicted_address == address
+        if correct:
+            entry.confidence.increment()
+            entry.consecutive_correct += 1
+            self.correct_trains += 1
+        else:
+            entry.confidence.decrement()
+            entry.consecutive_correct = 0
+        entry.observe(address)
+        return correct
+
+    def make_stream_state(self, pc: int, address: int) -> StreamState:
+        entry = self.lookup(pc)
+        stride = entry.two_delta_stride if entry is not None else 0
+        confidence = int(entry.confidence) if entry is not None else 0
+        return StreamState(pc, address, stride=stride, confidence=confidence)
+
+    def next_prediction(self, state: StreamState) -> Optional[int]:
+        """Fixed-stride streaming: last + allocated stride, each step."""
+        if state.stride == 0:
+            return None
+        state.last_address += state.stride
+        return state.last_address
+
+    def confidence_for(self, pc: int) -> int:
+        entry = self.lookup(pc)
+        return int(entry.confidence) if entry is not None else 0
+
+    def allocation_ready(self, pc: int) -> bool:
+        """Classic two-miss filter: two misses in a row with equal strides."""
+        entry = self.lookup(pc)
+        return entry is not None and entry.consecutive_same_stride >= 1
+
+    @property
+    def accuracy(self) -> float:
+        if self.trains == 0:
+            return 0.0
+        return self.correct_trains / self.trains

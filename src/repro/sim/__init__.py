@@ -1,0 +1,25 @@
+"""End-to-end simulation driver, paper presets, and sweep helpers."""
+
+from repro.sim.presets import (
+    baseline_config,
+    paper_configs,
+    prefetch_config,
+    psb_config,
+    stride_config,
+)
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import Simulator, simulate
+from repro.sim.sweep import cache_sweep, run_configs
+
+__all__ = [
+    "baseline_config",
+    "paper_configs",
+    "prefetch_config",
+    "psb_config",
+    "stride_config",
+    "SimulationResult",
+    "Simulator",
+    "simulate",
+    "cache_sweep",
+    "run_configs",
+]

@@ -1,0 +1,102 @@
+"""The top-level simulator: core + hierarchy + prefetcher, one call.
+
+:func:`simulate` is the main entry point of the library::
+
+    from repro.sim import simulate, baseline_config
+    from repro.workloads import get_workload
+
+    result = simulate(baseline_config(), get_workload("health", seed=1),
+                      max_instructions=50_000, warmup_instructions=5_000)
+    print(result.ipc)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.config import SimConfig
+from repro.cpu.core import OutOfOrderCore
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.results import SimulationResult
+from repro.streambuf.controller import build_prefetcher
+from repro.trace.record import TraceRecord
+
+
+class Simulator:
+    """One fully wired machine: reusable across runs of the same config."""
+
+    def __init__(self, config: SimConfig) -> None:
+        self.config = config
+        self.hierarchy = MemoryHierarchy(config)
+        # A StreamBufferController for the stream-buffer kinds, or a
+        # demand-based PrefetcherPort for the Section 3.2 baselines.
+        self.controller = build_prefetcher(
+            config.prefetch, config.l1_data.block_size
+        )
+        if self.controller is not None:
+            self.controller.attach(self.hierarchy)
+        self.core = OutOfOrderCore(config.core, self.hierarchy)
+
+    def run(
+        self,
+        trace: Iterable[TraceRecord],
+        max_instructions: Optional[int] = None,
+        warmup_instructions: Optional[int] = None,
+        label: str = "run",
+    ) -> SimulationResult:
+        """Simulate ``trace`` and gather post-warm-up statistics."""
+        warmup = (
+            warmup_instructions
+            if warmup_instructions is not None
+            else self.config.warmup_instructions
+        )
+
+        def on_warmup_end() -> None:
+            self.hierarchy.reset_stats()
+            if self.controller is not None:
+                self.controller.reset_stats()
+
+        stats = self.core.run(
+            trace,
+            max_instructions=max_instructions,
+            warmup_instructions=warmup,
+            on_warmup_end=on_warmup_end,
+        )
+        hierarchy = self.hierarchy
+        controller = self.controller
+        return SimulationResult(
+            label=label,
+            instructions=stats.retired,
+            cycles=stats.cycles,
+            ipc=stats.ipc,
+            l1_miss_rate=hierarchy.demand_miss_rate,
+            avg_load_latency=stats.load_latency.mean,
+            load_fraction=stats.load_fraction,
+            store_fraction=stats.store_fraction,
+            branch_misprediction_rate=self.core.branch_predictor.misprediction_rate,
+            l1_l2_bus_utilization=hierarchy.l1_l2_bus.utilization(stats.cycles),
+            l2_mem_bus_utilization=hierarchy.l2_mem_bus.utilization(stats.cycles),
+            prefetches_issued=getattr(controller, "prefetches_issued", 0),
+            prefetches_used=getattr(controller, "prefetches_used", 0),
+            prefetch_accuracy=getattr(controller, "accuracy", 0.0),
+            sb_allocations=getattr(controller, "allocations", 0),
+            sb_allocations_denied=getattr(controller, "allocations_denied", 0),
+            forwarded_loads=stats.forwarded_loads,
+            tlb_miss_rate=hierarchy.tlb.miss_rate,
+        )
+
+
+def simulate(
+    config: SimConfig,
+    trace: Iterable[TraceRecord],
+    max_instructions: Optional[int] = None,
+    warmup_instructions: Optional[int] = None,
+    label: str = "run",
+) -> SimulationResult:
+    """Build a fresh machine for ``config`` and run ``trace`` through it."""
+    return Simulator(config).run(
+        trace,
+        max_instructions=max_instructions,
+        warmup_instructions=warmup_instructions,
+        label=label,
+    )

@@ -1,0 +1,66 @@
+"""Parameter sweeps over configurations and workloads.
+
+Figures 5-9 sweep configurations at a fixed machine; Figure 10 sweeps
+the L1 data-cache geometry; Figure 11 sweeps the disambiguation policy.
+These helpers run a fresh machine per point and return labelled results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.config import SimConfig
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import simulate
+from repro.trace.record import TraceRecord
+
+#: A factory producing a fresh trace per run (traces are single-use).
+TraceFactory = Callable[[], Iterable[TraceRecord]]
+
+#: L1 geometries of Figure 10: (size_bytes, associativity, label).
+FIGURE10_CACHES: List[Tuple[int, int, str]] = [
+    (16 * 1024, 4, "16K 4-w"),
+    (32 * 1024, 2, "32K 2-w"),
+    (32 * 1024, 4, "32K 4-w"),
+]
+
+
+def run_configs(
+    configs: Dict[str, SimConfig],
+    trace_factory: TraceFactory,
+    max_instructions: Optional[int] = None,
+    warmup_instructions: int = 0,
+) -> Dict[str, SimulationResult]:
+    """Run every labelled config against fresh copies of the same workload."""
+    results: Dict[str, SimulationResult] = {}
+    for label, config in configs.items():
+        results[label] = simulate(
+            config,
+            trace_factory(),
+            max_instructions=max_instructions,
+            warmup_instructions=warmup_instructions,
+            label=label,
+        )
+    return results
+
+
+def cache_sweep(
+    base_config: SimConfig,
+    trace_factory: TraceFactory,
+    max_instructions: Optional[int] = None,
+    warmup_instructions: int = 0,
+    geometries: Optional[List[Tuple[int, int, str]]] = None,
+) -> Dict[str, SimulationResult]:
+    """Run one config across the Figure 10 L1 geometries."""
+    geometries = geometries if geometries is not None else FIGURE10_CACHES
+    results: Dict[str, SimulationResult] = {}
+    for size_bytes, associativity, label in geometries:
+        config = base_config.with_l1(size_bytes, associativity)
+        results[label] = simulate(
+            config,
+            trace_factory(),
+            max_instructions=max_instructions,
+            warmup_instructions=warmup_instructions,
+            label=label,
+        )
+    return results

@@ -1,0 +1,50 @@
+"""Stream buffers: the paper's prefetching hardware (Sections 3.3.2 and 4).
+
+A single controller class implements every architecture in the paper's
+evaluation by composing three orthogonal pieces:
+
+- an **address predictor** (sequential, PC-stride, or Stride-Filtered
+  Markov) that generates the prefetch stream;
+- an **allocation filter** (always / two-miss / confidence) deciding which
+  missing loads get a buffer;
+- a **scheduler** (round-robin / priority counters) arbitrating the shared
+  predictor port and the L1-L2 bus.
+"""
+
+from repro.streambuf.allocation import (
+    AllocationFilter,
+    AlwaysAllocate,
+    ConfidenceAllocationFilter,
+    TwoMissFilter,
+    make_allocation_filter,
+)
+from repro.streambuf.buffer import EntryState, StreamBuffer, StreamBufferEntry
+from repro.streambuf.controller import (
+    SequentialPredictor,
+    StreamBufferController,
+    build_prefetcher,
+)
+from repro.streambuf.scheduling import (
+    PriorityScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    "AllocationFilter",
+    "AlwaysAllocate",
+    "ConfidenceAllocationFilter",
+    "TwoMissFilter",
+    "make_allocation_filter",
+    "EntryState",
+    "StreamBuffer",
+    "StreamBufferEntry",
+    "SequentialPredictor",
+    "StreamBufferController",
+    "build_prefetcher",
+    "PriorityScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "make_scheduler",
+]

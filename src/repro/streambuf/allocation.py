@@ -1,0 +1,134 @@
+"""Stream-buffer allocation filters (Section 4.3).
+
+Allocation is the scarce resource: every L1 miss that also misses the
+stream buffers is a potential allocation, and letting them all through
+causes *stream thrashing* — buffers are reallocated before their streams
+produce any hits.  The paper evaluates a generalized two-miss filter and
+its new confidence-based filter.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+from repro.config import AllocationPolicy, StreamBufferConfig
+from repro.predictors.base import AddressPredictor
+from repro.streambuf.buffer import StreamBuffer
+
+
+def _lru_choice(buffers: List[StreamBuffer]) -> StreamBuffer:
+    """Least-recently-used buffer among ``buffers`` (must be non-empty)."""
+    return min(buffers, key=lambda buffer: buffer.last_use_cycle)
+
+
+class AllocationFilter(ABC):
+    """Decides whether a missing load may claim a buffer, and which one."""
+
+    @abstractmethod
+    def choose_victim(
+        self,
+        pc: int,
+        predictor: AddressPredictor,
+        buffers: List[StreamBuffer],
+    ) -> Optional[StreamBuffer]:
+        """Return the buffer to (re)allocate, or None to deny allocation."""
+
+    def admits(self, pc: int, predictor: AddressPredictor) -> bool:
+        """Admission only (no victim choice): may this load restart a
+        stream it already owns?"""
+        return True
+
+
+class AlwaysAllocate(AllocationFilter):
+    """No filtering: every stream-buffer miss allocates (Jouppi's model)."""
+
+    def choose_victim(
+        self,
+        pc: int,
+        predictor: AddressPredictor,
+        buffers: List[StreamBuffer],
+    ) -> Optional[StreamBuffer]:
+        unallocated = [buffer for buffer in buffers if not buffer.allocated]
+        if unallocated:
+            return unallocated[0]
+        return _lru_choice(buffers)
+
+
+class TwoMissFilter(AllocationFilter):
+    """Generalized two-miss filtering.
+
+    A load is admitted once it has missed twice in a row *and* both times
+    would have been predicted correctly — by matching strides for the
+    pure stride predictor, or by either SFM component for the PSB
+    (the predictor's :meth:`allocation_ready` encodes which).  The victim
+    is the LRU buffer.
+    """
+
+    def admits(self, pc: int, predictor: AddressPredictor) -> bool:
+        return predictor.allocation_ready(pc)
+
+    def choose_victim(
+        self,
+        pc: int,
+        predictor: AddressPredictor,
+        buffers: List[StreamBuffer],
+    ) -> Optional[StreamBuffer]:
+        if not predictor.allocation_ready(pc):
+            return None
+        unallocated = [buffer for buffer in buffers if not buffer.allocated]
+        if unallocated:
+            return unallocated[0]
+        return _lru_choice(buffers)
+
+
+class ConfidenceAllocationFilter(AllocationFilter):
+    """The paper's confidence-guided allocation.
+
+    A load contends for a buffer only when its accuracy confidence is at
+    least ``confidence_threshold`` (1 in the paper).  It then must *beat a
+    buffer*: only buffers whose priority counter is <= the load's
+    confidence may be replaced; if none qualifies, no allocation happens.
+    Among qualifying buffers the lowest priority wins, LRU breaking ties —
+    so buffers that keep producing hits stay allocated.
+    """
+
+    def __init__(self, config: StreamBufferConfig) -> None:
+        self.config = config
+
+    def admits(self, pc: int, predictor: AddressPredictor) -> bool:
+        return predictor.confidence_for(pc) >= self.config.confidence_threshold
+
+    def choose_victim(
+        self,
+        pc: int,
+        predictor: AddressPredictor,
+        buffers: List[StreamBuffer],
+    ) -> Optional[StreamBuffer]:
+        confidence = predictor.confidence_for(pc)
+        if confidence < self.config.confidence_threshold:
+            return None
+        unallocated = [buffer for buffer in buffers if not buffer.allocated]
+        if unallocated:
+            return unallocated[0]
+        beatable = [
+            buffer for buffer in buffers if int(buffer.priority) <= confidence
+        ]
+        if not beatable:
+            return None
+        lowest = min(int(buffer.priority) for buffer in beatable)
+        candidates = [
+            buffer for buffer in beatable if int(buffer.priority) == lowest
+        ]
+        return _lru_choice(candidates)
+
+
+def make_allocation_filter(config: StreamBufferConfig) -> AllocationFilter:
+    """Build the filter selected by ``config.allocation``."""
+    if config.allocation == AllocationPolicy.ALWAYS:
+        return AlwaysAllocate()
+    if config.allocation == AllocationPolicy.TWO_MISS:
+        return TwoMissFilter()
+    if config.allocation == AllocationPolicy.CONFIDENCE:
+        return ConfidenceAllocationFilter(config)
+    raise ValueError(f"unknown allocation policy: {config.allocation}")

@@ -1,0 +1,179 @@
+"""A single stream buffer and its entries (Section 4.1).
+
+Each of the 8 buffers holds 4 entries and the per-stream prediction
+history (:class:`~repro.predictors.base.StreamState`).  Entries move
+through a small lifecycle::
+
+    FREE -> PREDICTED -> IN_FLIGHT -> READY -> (hit) FREE
+
+Lookups are fully associative across all buffers and entries (Farkas et
+al.'s enhancement, which the paper models).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, Optional
+
+from repro.predictors.base import StreamState
+from repro.predictors.saturating import SaturatingCounter
+
+
+class EntryState(Enum):
+    FREE = "free"
+    PREDICTED = "predicted"  # has an address, waiting for the bus
+    IN_FLIGHT = "in-flight"  # prefetch issued, data not yet back
+    READY = "ready"  # data resident in the entry
+
+
+class StreamBufferEntry:
+    """One cache-block slot in a stream buffer."""
+
+    __slots__ = ("state", "block", "ready_cycle", "predicted_cycle")
+
+    def __init__(self) -> None:
+        self.state = EntryState.FREE
+        self.block = 0
+        self.ready_cycle = 0
+        self.predicted_cycle = 0
+
+    def hold_prediction(self, block: int, cycle: int) -> None:
+        self.state = EntryState.PREDICTED
+        self.block = block
+        self.predicted_cycle = cycle
+
+    def mark_in_flight(self, ready_cycle: int) -> None:
+        self.state = EntryState.IN_FLIGHT
+        self.ready_cycle = ready_cycle
+
+    def refresh(self, cycle: int) -> None:
+        """Promote IN_FLIGHT to READY once the data has arrived."""
+        if self.state == EntryState.IN_FLIGHT and self.ready_cycle <= cycle:
+            self.state = EntryState.READY
+
+    def clear(self) -> None:
+        self.state = EntryState.FREE
+        self.block = 0
+        self.ready_cycle = 0
+        self.predicted_cycle = 0
+
+    @property
+    def occupied(self) -> bool:
+        return self.state != EntryState.FREE
+
+    def __repr__(self) -> str:
+        return f"Entry({self.state.value}, block={self.block:#x})"
+
+
+class StreamBuffer:
+    """One stream: N entries plus the stream's speculative predictor state."""
+
+    def __init__(self, index: int, num_entries: int, priority_max: int) -> None:
+        self.index = index
+        self.entries: List[StreamBufferEntry] = [
+            StreamBufferEntry() for _ in range(num_entries)
+        ]
+        self.state: Optional[StreamState] = None
+        self.priority = SaturatingCounter(maximum=priority_max)
+        self.allocated = False
+        self.exhausted_epoch: Optional[int] = None
+        self.last_use_cycle = 0
+        self.allocations = 0
+        self.hits = 0
+        #: Page whose TLB translation this buffer caches (Section 4.5);
+        #: None means "no cached translation".
+        self.tlb_page: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def allocate(self, state: StreamState, cycle: int, priority: int = 0) -> None:
+        """Claim this buffer for a new stream, discarding old entries."""
+        for entry in self.entries:
+            entry.clear()
+        self.state = state
+        self.priority.set(priority)
+        self.allocated = True
+        self.exhausted_epoch = None
+        self.last_use_cycle = cycle
+        self.allocations += 1
+        self.tlb_page = None
+
+    def deallocate(self) -> None:
+        for entry in self.entries:
+            entry.clear()
+        self.state = None
+        self.allocated = False
+        self.exhausted_epoch = None
+
+    # ------------------------------------------------------------------
+    # Entry queries
+    # ------------------------------------------------------------------
+
+    def free_entry(self) -> Optional[StreamBufferEntry]:
+        """An entry available to hold a new prediction, if any."""
+        for entry in self.entries:
+            if entry.state == EntryState.FREE:
+                return entry
+        return None
+
+    def prefetchable_entry(self) -> Optional[StreamBufferEntry]:
+        """The oldest PREDICTED entry waiting for the bus, if any."""
+        best = None
+        for entry in self.entries:
+            if entry.state == EntryState.PREDICTED:
+                if best is None or entry.predicted_cycle < best.predicted_cycle:
+                    best = entry
+        return best
+
+    def find_block(self, block: int) -> Optional[StreamBufferEntry]:
+        """Tag-match ``block`` against non-free entries."""
+        for entry in self.entries:
+            if entry.occupied and entry.block == block:
+                return entry
+        return None
+
+    def head_entry(self) -> Optional[StreamBufferEntry]:
+        """The oldest occupied entry (the FIFO head, Jouppi's lookup).
+
+        Age is the prediction order; with in-order consumption the entry
+        predicted earliest is the stream's head.
+        """
+        head = None
+        for entry in self.entries:
+            if not entry.occupied:
+                continue
+            if head is None or entry.predicted_cycle < head.predicted_cycle:
+                head = entry
+        return head
+
+    def wants_prediction(self, epoch: int) -> bool:
+        """True when this buffer should compete for the predictor port."""
+        if not self.allocated or self.state is None:
+            return False
+        if self.exhausted_epoch is not None and self.exhausted_epoch == epoch:
+            return False
+        return self.free_entry() is not None
+
+    def mark_exhausted(self, epoch: int) -> None:
+        """The predictor had nothing to offer; retry after more training."""
+        self.exhausted_epoch = epoch
+
+    @property
+    def occupied_entries(self) -> int:
+        return sum(1 for entry in self.entries if entry.occupied)
+
+    def note_hit(self, cycle: int, bonus: int) -> None:
+        """A demand lookup hit this buffer: bump priority, refresh LRU."""
+        self.hits += 1
+        self.priority.increment(bonus)
+        self.last_use_cycle = cycle
+        self.exhausted_epoch = None
+
+    def __repr__(self) -> str:
+        pc = f"{self.state.pc:#x}" if self.state is not None else "-"
+        return (
+            f"StreamBuffer(#{self.index}, pc={pc}, "
+            f"priority={int(self.priority)}, entries={self.occupied_entries})"
+        )

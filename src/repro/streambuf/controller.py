@@ -1,0 +1,341 @@
+"""The stream-buffer controller (Section 4.1).
+
+One controller class implements every stream-buffer architecture the
+paper evaluates, by composing an address predictor, an allocation filter,
+and a scheduler:
+
+==================  =========================  ==============  ============
+Architecture        Predictor                  Allocation      Scheduling
+==================  =========================  ==============  ============
+Jouppi sequential   :class:`SequentialPredictor`  always       round-robin
+Farkas PC-stride    ``TwoDeltaStrideTable``    two-miss        round-robin
+PSB (this paper)    ``StrideFilteredMarkov``   two-miss /      round-robin /
+                                               confidence      priority
+==================  =========================  ==============  ============
+
+Per cycle (``tick``): at most one stream buffer uses the shared predictor
+port, and at most one prefetch launches — and only when the L1-L2 bus is
+free at the start of the cycle.  Predictions are checked against every
+buffer so streams never overlap; a duplicate prediction is dropped but
+still advances the stream's speculative history, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config import PrefetchConfig, PrefetcherKind, StreamBufferConfig
+from repro.memory.hierarchy import MemoryHierarchy, PrefetcherPort
+from repro.predictors.base import AddressPredictor, StreamState
+from repro.predictors.sfm import StrideFilteredMarkovPredictor
+from repro.predictors.stride import TwoDeltaStrideTable
+from repro.streambuf.allocation import AllocationFilter, make_allocation_filter
+from repro.streambuf.buffer import EntryState, StreamBuffer
+from repro.streambuf.scheduling import Scheduler, make_scheduler
+
+
+class SequentialPredictor(AddressPredictor):
+    """Jouppi's original streaming: always the next sequential block."""
+
+    def __init__(self, block_size: int) -> None:
+        self.block_size = block_size
+
+    def train(self, pc: int, address: int) -> bool:
+        return False
+
+    def make_stream_state(self, pc: int, address: int) -> StreamState:
+        return StreamState(pc, address, stride=self.block_size)
+
+    def next_prediction(self, state: StreamState) -> Optional[int]:
+        state.last_address += self.block_size
+        return state.last_address
+
+
+#: Sentinel "no refresh pending" cycle.
+_NEVER = 1 << 62
+
+
+class StreamBufferController(PrefetcherPort):
+    """Arbitrates 8 stream buffers over one predictor port and one bus."""
+
+    def __init__(
+        self,
+        config: StreamBufferConfig,
+        predictor: AddressPredictor,
+        block_size: int,
+    ) -> None:
+        self.config = config
+        self.predictor = predictor
+        self.block_size = block_size
+        self.buffers: List[StreamBuffer] = [
+            StreamBuffer(i, config.entries_per_buffer, config.priority_max)
+            for i in range(config.num_buffers)
+        ]
+        self.allocation_filter: AllocationFilter = make_allocation_filter(config)
+        self.scheduler: Scheduler = make_scheduler(config)
+        self.hierarchy: Optional[MemoryHierarchy] = None
+        self._training_epoch = 0
+        self._misses_since_aging = 0
+        self._any_allocated = False
+        # Steady-state fast path: when a tick finds no work, skip the
+        # scan on subsequent ticks until an event (hit, miss, fresh
+        # prediction) can have changed the answer.  Purely an
+        # optimization; behaviour is identical.
+        self._predict_skip = False
+        self._prefetch_skip = False
+        self._next_refresh = _NEVER
+        # Statistics.
+        self.prefetches_issued = 0
+        self.prefetches_used = 0
+        self.prefetches_discarded = 0
+        self.duplicate_predictions = 0
+        self.predictions_made = 0
+        self.allocations = 0
+        self.allocations_denied = 0
+        self.predicted_overtaken = 0
+
+    def attach(self, hierarchy: MemoryHierarchy) -> None:
+        """Wire this controller to the memory hierarchy it prefetches into."""
+        self.hierarchy = hierarchy
+        hierarchy.prefetcher = self
+
+    def _align(self, address: int) -> int:
+        return address & ~(self.block_size - 1)
+
+    # ------------------------------------------------------------------
+    # Lookup path (PrefetcherPort.probe)
+    # ------------------------------------------------------------------
+
+    def probe(self, block_addr: int, cycle: int) -> Optional[int]:
+        """Tag match across all buffers.
+
+        Fully associative over every entry by default (Farkas et al.,
+        the paper's model); with ``associative_lookup`` disabled only
+        each buffer's FIFO head is matchable (Jouppi's original design),
+        so any out-of-order touch misses and kills the stream's utility.
+        """
+        for buffer in self.buffers:
+            if not buffer.allocated:
+                continue
+            if self.config.associative_lookup:
+                entry = buffer.find_block(block_addr)
+            else:
+                entry = buffer.head_entry()
+                if entry is not None and entry.block != block_addr:
+                    entry = None
+            if entry is None:
+                continue
+            entry.refresh(cycle)
+            if entry.state == EntryState.PREDICTED:
+                # Tag present but the prefetch never launched; let the
+                # demand miss fetch it and drop the stale prediction.
+                entry.clear()
+                self.predicted_overtaken += 1
+                self._predict_skip = False
+                return None
+            ready = entry.ready_cycle
+            entry.clear()
+            buffer.note_hit(cycle, self.config.priority_hit_bonus)
+            self.prefetches_used += 1
+            self._predict_skip = False  # a freed entry can take a prediction
+            return ready
+        return None
+
+    # ------------------------------------------------------------------
+    # Miss path: training, aging, and allocation
+    # ------------------------------------------------------------------
+
+    def on_l1_miss(self, pc: int, addr: int, cycle: int, sb_hit: bool) -> None:
+        """Write-back update for a demand L1 miss (Section 4.2/4.3)."""
+        block = self._align(addr)
+        self.predictor.train(pc, block)
+        self._training_epoch += 1
+        # Training may un-exhaust streams; allocation may add work.
+        self._predict_skip = False
+        if sb_hit:
+            return
+        # This miss also missed the stream buffers: it is an allocation
+        # request, which both ages priorities and may claim a buffer.
+        self._misses_since_aging += 1
+        if self._misses_since_aging >= self.config.priority_age_period:
+            self._misses_since_aging = 0
+            for buffer in self.buffers:
+                buffer.priority.decrement(self.config.priority_age_amount)
+        self._try_allocate(pc, block, cycle)
+
+    def _try_allocate(self, pc: int, block: int, cycle: int) -> None:
+        # A load that already owns a stream must not thrash it: while its
+        # buffer is still *working* (predictions pending or prefetches in
+        # flight) the allocation request is denied — the stream simply
+        # has not caught up yet.  Only an idle (stale or fully consumed)
+        # stream may be restarted, and then admission is still filtered.
+        own = None
+        for buffer in self.buffers:
+            if buffer.allocated and buffer.state is not None and buffer.state.pc == pc:
+                own = buffer
+                break
+        if own is not None:
+            busy = any(
+                entry.state in (EntryState.PREDICTED, EntryState.IN_FLIGHT)
+                for entry in own.entries
+            )
+            if busy or not self.allocation_filter.admits(pc, self.predictor):
+                self.allocations_denied += 1
+                return
+            victim = own
+        else:
+            victim = self.allocation_filter.choose_victim(
+                pc, self.predictor, self.buffers
+            )
+            if victim is None:
+                self.allocations_denied += 1
+                return
+        self._discard_unused(victim)
+        state = self.predictor.make_stream_state(pc, block)
+        victim.allocate(state, cycle, priority=state.confidence)
+        self.allocations += 1
+        self._any_allocated = True
+
+    def _discard_unused(self, buffer: StreamBuffer) -> None:
+        """Count prefetched-but-never-used entries lost to reallocation."""
+        for entry in buffer.entries:
+            if entry.state in (EntryState.IN_FLIGHT, EntryState.READY):
+                self.prefetches_discarded += 1
+
+    # ------------------------------------------------------------------
+    # Per-cycle operation: one prediction, one prefetch
+    # ------------------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        if not self._any_allocated:
+            return
+        if cycle >= self._next_refresh:
+            next_refresh = _NEVER
+            for buffer in self.buffers:
+                for entry in buffer.entries:
+                    entry.refresh(cycle)
+                    if (
+                        entry.state == EntryState.IN_FLIGHT
+                        and entry.ready_cycle < next_refresh
+                    ):
+                        next_refresh = entry.ready_cycle
+            self._next_refresh = next_refresh
+        if not self._predict_skip:
+            self._predict_one(cycle)
+        if not self._prefetch_skip:
+            self._prefetch_one(cycle)
+
+    def _predict_one(self, cycle: int) -> None:
+        epoch = self._training_epoch
+        buffer = self.scheduler.pick_for_prediction(
+            self.buffers, lambda b: b.wants_prediction(epoch)
+        )
+        if buffer is None or buffer.state is None:
+            # Nothing can take a prediction; skip until an entry frees,
+            # a training event lands, or a (re)allocation happens.
+            self._predict_skip = True
+            return
+        predicted = self.predictor.next_prediction(buffer.state)
+        if predicted is None:
+            buffer.mark_exhausted(epoch)
+            return
+        self.predictions_made += 1
+        block = self._align(predicted)
+        if self.config.check_overlap:
+            for other in self.buffers:
+                if other.allocated and other.find_block(block) is not None:
+                    # Overlapping streams are forbidden: drop the
+                    # prediction (history already advanced — Section 4.1).
+                    self.duplicate_predictions += 1
+                    return
+        entry = buffer.free_entry()
+        if entry is not None:
+            entry.hold_prediction(block, cycle)
+            self._prefetch_skip = False  # fresh work for the bus
+
+    def _prefetch_one(self, cycle: int) -> None:
+        if self.hierarchy is None or not self.hierarchy.can_prefetch(cycle):
+            return
+        buffer = self.scheduler.pick_for_prefetch(
+            self.buffers, lambda b: b.allocated and b.prefetchable_entry() is not None
+        )
+        if buffer is None:
+            # No predicted entries anywhere; skip until one is held.
+            self._prefetch_skip = True
+            return
+        entry = buffer.prefetchable_entry()
+        if entry is None:
+            return
+        skip_tlb = False
+        if self.config.cache_tlb_translations:
+            # Section 4.5: the buffer caches one page translation and
+            # only consults the TLB when the stream leaves that page.
+            page = self.hierarchy.tlb.page_of(entry.block)
+            skip_tlb = buffer.tlb_page == page
+            buffer.tlb_page = page
+        ready = self.hierarchy.issue_prefetch(entry.block, cycle, skip_tlb=skip_tlb)
+        if ready is None:
+            # Already resident (or in flight) in the L1: drop silently.
+            entry.clear()
+            self._predict_skip = False
+            return
+        self.prefetches_issued += 1
+        entry.mark_in_flight(ready)
+        if ready < self._next_refresh:
+            self._next_refresh = ready
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def accuracy(self) -> float:
+        """Prefetch accuracy: prefetches used / prefetches made (Fig. 6)."""
+        if self.prefetches_issued == 0:
+            return 0.0
+        return min(1.0, self.prefetches_used / self.prefetches_issued)
+
+    def reset_stats(self) -> None:
+        """Zero counters (warm-up boundary); learned state is preserved."""
+        self.prefetches_issued = 0
+        self.prefetches_used = 0
+        self.prefetches_discarded = 0
+        self.duplicate_predictions = 0
+        self.predictions_made = 0
+        self.allocations = 0
+        self.allocations_denied = 0
+        self.predicted_overtaken = 0
+
+
+def build_prefetcher(config: PrefetchConfig, block_size: int):
+    """Construct the prefetcher architecture selected by ``config``.
+
+    Stream-buffer kinds return a :class:`StreamBufferController`; the
+    demand-based prior-art kinds (next-line, Joseph-Grunwald Markov)
+    return their own :class:`~repro.memory.hierarchy.PrefetcherPort`
+    implementations.  All expose ``attach``, ``reset_stats``,
+    ``prefetches_issued``/``prefetches_used``, and ``accuracy``.
+    """
+    from repro.demandpf.markov_prefetcher import DemandMarkovPrefetcher
+    from repro.demandpf.nextline import NextLinePrefetcher
+    from repro.predictors.mindelta import MinimumDeltaPredictor
+
+    if config.kind == PrefetcherKind.NONE:
+        return None
+    if config.kind == PrefetcherKind.NEXT_LINE:
+        return NextLinePrefetcher(block_size)
+    if config.kind == PrefetcherKind.DEMAND_MARKOV:
+        return DemandMarkovPrefetcher(
+            block_size, table_entries=config.markov.entries
+        )
+    if config.kind == PrefetcherKind.SEQUENTIAL:
+        predictor: AddressPredictor = SequentialPredictor(block_size)
+    elif config.kind == PrefetcherKind.STRIDE_PC:
+        predictor = TwoDeltaStrideTable(config.stride)
+    elif config.kind == PrefetcherKind.MIN_DELTA:
+        predictor = MinimumDeltaPredictor(block_size)
+    elif config.kind == PrefetcherKind.PREDICTOR_DIRECTED:
+        predictor = StrideFilteredMarkovPredictor(config.stride, config.markov)
+    else:
+        raise ValueError(f"unknown prefetcher kind: {config.kind}")
+    return StreamBufferController(config.stream_buffers, predictor, block_size)

@@ -1,0 +1,110 @@
+"""Predictor-port and bus arbitration across stream buffers (Section 4.4).
+
+Only one stream buffer may use the shared address predictor each cycle,
+and only one may launch a prefetch on the L1-L2 bus.  The paper compares
+round-robin arbitration against priority counters (incremented by 2 on
+every stream-buffer hit, aged by 1 every 10 L1 data-cache misses, LRU
+breaking ties).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, List, Optional
+
+from repro.config import SchedulingPolicy, StreamBufferConfig
+from repro.streambuf.buffer import StreamBuffer
+
+#: Predicate selecting buffers eligible for the resource being arbitrated.
+Eligible = Callable[[StreamBuffer], bool]
+
+
+class Scheduler(ABC):
+    """Chooses which eligible buffer wins a shared resource this cycle."""
+
+    @abstractmethod
+    def pick_for_prediction(
+        self, buffers: List[StreamBuffer], eligible: Eligible
+    ) -> Optional[StreamBuffer]:
+        """The buffer that gets the predictor port, or None."""
+
+    @abstractmethod
+    def pick_for_prefetch(
+        self, buffers: List[StreamBuffer], eligible: Eligible
+    ) -> Optional[StreamBuffer]:
+        """The buffer that gets the L1-L2 bus, or None."""
+
+
+class RoundRobinScheduler(Scheduler):
+    """Equal chances: separate rotating pointers for prediction and
+    prefetching, as described in the paper."""
+
+    def __init__(self) -> None:
+        self._predict_pointer = 0
+        self._prefetch_pointer = 0
+
+    def _scan(
+        self, buffers: List[StreamBuffer], eligible: Eligible, start: int
+    ) -> Optional[int]:
+        count = len(buffers)
+        for offset in range(count):
+            index = (start + offset) % count
+            if eligible(buffers[index]):
+                return index
+        return None
+
+    def pick_for_prediction(
+        self, buffers: List[StreamBuffer], eligible: Eligible
+    ) -> Optional[StreamBuffer]:
+        index = self._scan(buffers, eligible, self._predict_pointer)
+        if index is None:
+            return None
+        self._predict_pointer = (index + 1) % len(buffers)
+        return buffers[index]
+
+    def pick_for_prefetch(
+        self, buffers: List[StreamBuffer], eligible: Eligible
+    ) -> Optional[StreamBuffer]:
+        index = self._scan(buffers, eligible, self._prefetch_pointer)
+        if index is None:
+            return None
+        self._prefetch_pointer = (index + 1) % len(buffers)
+        return buffers[index]
+
+
+class PriorityScheduler(Scheduler):
+    """Highest priority counter first; LRU among equals (Section 4.4)."""
+
+    def _pick(
+        self, buffers: List[StreamBuffer], eligible: Eligible
+    ) -> Optional[StreamBuffer]:
+        candidates = [buffer for buffer in buffers if eligible(buffer)]
+        if not candidates:
+            return None
+        best_priority = max(int(buffer.priority) for buffer in candidates)
+        top = [
+            buffer for buffer in candidates if int(buffer.priority) == best_priority
+        ]
+        # Recency tie-break: among equal priorities the most recently
+        # useful buffer wins the port, keeping the live stream ahead of
+        # stale ones (our reading of the paper's "LRU policy" for ties).
+        return max(top, key=lambda buffer: buffer.last_use_cycle)
+
+    def pick_for_prediction(
+        self, buffers: List[StreamBuffer], eligible: Eligible
+    ) -> Optional[StreamBuffer]:
+        return self._pick(buffers, eligible)
+
+    def pick_for_prefetch(
+        self, buffers: List[StreamBuffer], eligible: Eligible
+    ) -> Optional[StreamBuffer]:
+        return self._pick(buffers, eligible)
+
+
+def make_scheduler(config: StreamBufferConfig) -> Scheduler:
+    """Build the scheduler selected by ``config.scheduling``."""
+    if config.scheduling == SchedulingPolicy.ROUND_ROBIN:
+        return RoundRobinScheduler()
+    if config.scheduling == SchedulingPolicy.PRIORITY:
+        return PriorityScheduler()
+    raise ValueError(f"unknown scheduling policy: {config.scheduling}")

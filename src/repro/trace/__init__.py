@@ -1,0 +1,19 @@
+"""Instruction-trace substrate: records, sources, and serialization."""
+
+from repro.trace.record import InstrKind, TraceRecord, OP_LATENCY
+from repro.trace.stream import (
+    ListTrace,
+    TraceSource,
+    counted,
+    materialize,
+)
+
+__all__ = [
+    "InstrKind",
+    "TraceRecord",
+    "OP_LATENCY",
+    "ListTrace",
+    "TraceSource",
+    "counted",
+    "materialize",
+]

@@ -1,0 +1,126 @@
+"""Dynamic-instruction trace records.
+
+The simulator is execution-driven in spirit but trace-driven in practice:
+workload generators emit a stream of :class:`TraceRecord` objects carrying
+everything the timing model needs — opcode class, PC, effective address,
+branch outcome, and register dependences expressed as *distances* back in
+the dynamic instruction stream (a compact, ISA-independent encoding).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class InstrKind(IntEnum):
+    """Operation classes with distinct timing behaviour (Section 5.1)."""
+
+    IALU = 0
+    IMUL = 1
+    IDIV = 2
+    FADD = 3
+    FMUL = 4
+    FDIV = 5
+    LOAD = 6
+    STORE = 7
+    BRANCH = 8
+    NOP = 9
+
+
+#: Execution latency in cycles per kind (loads use the memory system instead).
+OP_LATENCY = {
+    InstrKind.IALU: 1,
+    InstrKind.IMUL: 3,
+    InstrKind.IDIV: 12,
+    InstrKind.FADD: 2,
+    InstrKind.FMUL: 4,
+    InstrKind.FDIV: 12,
+    InstrKind.LOAD: 1,  # address-generation portion; memory adds the rest
+    InstrKind.STORE: 1,
+    InstrKind.BRANCH: 1,
+    InstrKind.NOP: 1,
+}
+
+#: Kinds whose functional units are not pipelined (Section 5.1).
+UNPIPELINED_KINDS = frozenset({InstrKind.IDIV, InstrKind.FDIV})
+
+MEMORY_KINDS = frozenset({InstrKind.LOAD, InstrKind.STORE})
+
+
+class TraceRecord:
+    """One dynamic instruction.
+
+    Attributes
+    ----------
+    kind:
+        The :class:`InstrKind` opcode class.
+    pc:
+        Static instruction address; predictors index by this.
+    addr:
+        Effective address for loads/stores; 0 otherwise.
+    taken:
+        Branch outcome; False for non-branches.
+    dep1, dep2:
+        Distances (in dynamic instructions) back to the producers of this
+        instruction's source operands; 0 means "no dependence".  A pointer
+        chase is a chain of loads with ``dep1 == 1``.
+    """
+
+    __slots__ = ("kind", "pc", "addr", "taken", "dep1", "dep2")
+
+    def __init__(
+        self,
+        kind: InstrKind,
+        pc: int,
+        addr: int = 0,
+        taken: bool = False,
+        dep1: int = 0,
+        dep2: int = 0,
+    ) -> None:
+        self.kind = kind
+        self.pc = pc
+        self.addr = addr
+        self.taken = taken
+        self.dep1 = dep1
+        self.dep2 = dep2
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind in MEMORY_KINDS
+
+    @property
+    def is_load(self) -> bool:
+        return self.kind == InstrKind.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.kind == InstrKind.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.kind == InstrKind.BRANCH
+
+    def __repr__(self) -> str:
+        parts = [f"{self.kind.name} pc={self.pc:#x}"]
+        if self.is_memory:
+            parts.append(f"addr={self.addr:#x}")
+        if self.is_branch:
+            parts.append(f"taken={self.taken}")
+        if self.dep1 or self.dep2:
+            parts.append(f"deps=({self.dep1},{self.dep2})")
+        return f"TraceRecord({' '.join(parts)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self.pc == other.pc
+            and self.addr == other.addr
+            and self.taken == other.taken
+            and self.dep1 == other.dep1
+            and self.dep2 == other.dep2
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.pc, self.addr, self.taken, self.dep1, self.dep2))

@@ -1,0 +1,28 @@
+"""Synthetic workload generators standing in for the paper's benchmarks.
+
+The paper evaluates five pointer-intensive programs (health, burg,
+deltablue, gs, sis) and one stride-heavy FORTRAN program (turb3d) —
+Table 1.  Their Alpha binaries and inputs are not available, so each
+generator here reproduces the *memory behaviour* the paper attributes to
+its program: the kind of address streams (stride vs. Markov-predictable
+vs. thrash-inducing), the instruction mix, and the working-set size
+relative to the 32 KB L1.  See DESIGN.md for the substitution argument.
+"""
+
+from repro.workloads.base import HeapModel, PcAllocator, WorkloadGenerator
+from repro.workloads.registry import (
+    WORKLOADS,
+    get_workload,
+    get_workload_generator,
+    workload_names,
+)
+
+__all__ = [
+    "HeapModel",
+    "PcAllocator",
+    "WorkloadGenerator",
+    "WORKLOADS",
+    "get_workload",
+    "get_workload_generator",
+    "workload_names",
+]

@@ -1,0 +1,151 @@
+"""``health`` stand-in: Olden's hierarchical health-care simulator.
+
+The real program simulates a four-way tree of villages, each holding
+linked lists of patients that are repeatedly traversed and occasionally
+relinked.  The memory behaviour that matters for the paper:
+
+- long pointer chases through lists whose node order in memory is *not*
+  a stride (nodes for one list live near each other, but the traversal
+  order within the region is jumbled);
+- the structure is mostly static, so the miss stream repeats sweep after
+  sweep — exactly what a first-order Markov predictor captures;
+- the total working set is several times the 32 KB L1, so each sweep
+  misses heavily (the paper reports the highest L1 miss rate of the
+  suite).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.trace.record import InstrKind, TraceRecord
+from repro.workloads.base import Emitter, HeapModel, PcAllocator, WorkloadGenerator
+
+#: Bytes per patient node: a next pointer, data, and status fields.
+_NODE_BYTES = 64
+
+
+class HealthWorkload(WorkloadGenerator):
+    """Linked-list sweeps over a tree of villages (pointer chasing)."""
+
+    name = "health"
+    description = (
+        "Hierarchical health-care simulator from the Olden suite: "
+        "repeated traversal of per-village patient linked lists."
+    )
+
+    def __init__(
+        self,
+        seed: int = 1,
+        scale: float = 1.0,
+        num_lists: int = 20,
+        nodes_per_list: int = 64,
+        relink_chance: float = 0.01,
+    ) -> None:
+        super().__init__(seed, scale)
+        self.num_lists = self._scaled(num_lists, minimum=2)
+        self.nodes_per_list = self._scaled(nodes_per_list, minimum=4)
+        self.relink_chance = relink_chance
+
+    def _build_lists(self, heap: HeapModel, rng) -> List[List[int]]:
+        """Allocate each list's nodes in one segment, traversal shuffled.
+
+        Per-segment allocation keeps chase deltas small (they fit the
+        16-bit differential Markov entries); shuffling kills strides.
+        """
+        lists: List[List[int]] = []
+        for __ in range(self.num_lists):
+            nodes = [heap.alloc(_NODE_BYTES) for _ in range(self.nodes_per_list)]
+            rng.shuffle(nodes)
+            lists.append(nodes)
+        return lists
+
+    def generate(self) -> Iterator[TraceRecord]:
+        rng = self._rng()
+        heap = HeapModel()
+        lists = self._build_lists(heap, rng)
+        pcs = PcAllocator()
+        pc_head = pcs.site()  # load list head from village struct
+        pc_chase = pcs.site()  # load patient->next
+        pc_data = pcs.site()  # load patient->days
+        pc_check = pcs.site()  # compare days
+        pc_update = pcs.site()  # store patient->days
+        pc_loop = pcs.site()  # list-walk back edge
+        pc_village = pcs.site()  # village loop back edge
+        pc_work = pcs.sites(10)  # per-patient bookkeeping arithmetic
+        village_bases = [0x0100_0000 + i * 256 for i in range(self.num_lists)]
+
+        # Each of the four concurrent traversals gets its own static load
+        # site (its own chase PC), as the four inlined call sites of the
+        # real program's level walk would.
+        pc_chase_lane = pcs.sites(4)
+        pc_data_lane = pcs.sites(4)
+
+        em = Emitter()
+        group = 1  # villages processed one at a time (serial chase)
+        while True:
+            for base_index in range(0, len(lists), group):
+                lanes = [
+                    (lane, lists[base_index + lane])
+                    for lane in range(min(group, len(lists) - base_index))
+                ]
+                previous = {}
+                for lane, __ in lanes:
+                    head = em.index
+                    yield em.rec(
+                        InstrKind.LOAD, pc_head, village_bases[base_index + lane]
+                    )
+                    previous[lane] = head
+                length = max(len(nodes) for __, nodes in lanes)
+                for position in range(length):
+                    for lane, nodes in lanes:
+                        if position >= len(nodes):
+                            continue
+                        node = nodes[position]
+                        chase = em.index
+                        yield em.rec(
+                            InstrKind.LOAD,
+                            pc_chase_lane[lane],
+                            node,
+                            after=previous[lane],
+                        )
+                        previous[lane] = chase
+                        # Same-block field read depends on the chase load.
+                        data = em.index
+                        yield em.rec(
+                            InstrKind.LOAD, pc_data_lane[lane], node + 8, after=chase
+                        )
+                        yield em.rec(InstrKind.IALU, pc_check, after=data)
+                        # Per-patient bookkeeping the out-of-order core can
+                        # overlap with the chase.
+                        work = em.index
+                        yield em.rec(InstrKind.IALU, pc_work[0], after=data)
+                        yield em.rec(InstrKind.IALU, pc_work[1])
+                        yield em.rec(InstrKind.IALU, pc_work[2], after=work)
+                        yield em.rec(InstrKind.IMUL, pc_work[3])
+                        yield em.rec(InstrKind.IALU, pc_work[4])
+                        yield em.rec(InstrKind.IALU, pc_work[5])
+                        if rng.random() < 0.25:
+                            yield em.rec(
+                                InstrKind.STORE, pc_update, node + 16, after=data
+                            )
+                        yield em.rec(
+                            InstrKind.BRANCH,
+                            pc_loop,
+                            taken=position != len(nodes) - 1,
+                            after=data,
+                        )
+                        # Every fourth village is a high-admission ward whose
+                        # list churns much faster: its stream mispredicts
+                        # often, so priority scheduling can divert bandwidth
+                        # to the three predictable lanes beside it.
+                        churn = self.relink_chance * (
+                            6.0 if (base_index + lane) % group == 0 else 0.5
+                        )
+                        if position < len(nodes) - 1 and rng.random() < churn:
+                            # A patient moves: swap two nodes in traversal
+                            # order, perturbing the Markov transitions.
+                            other = rng.randrange(len(nodes))
+                            me = position + 1
+                            nodes[me], nodes[other] = nodes[other], nodes[me]
+                yield em.rec(InstrKind.BRANCH, pc_village, taken=True)

@@ -1,0 +1,50 @@
+"""Registry of the six benchmark stand-ins (Table 1)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Type
+
+from repro.trace.record import TraceRecord
+from repro.workloads.base import WorkloadGenerator
+from repro.workloads.burg import BurgWorkload
+from repro.workloads.deltablue import DeltaBlueWorkload
+from repro.workloads.gs import GhostscriptWorkload
+from repro.workloads.health import HealthWorkload
+from repro.workloads.sis import SisWorkload
+from repro.workloads.turb3d import Turb3dWorkload
+
+#: Table 1 order: the five pointer programs, then the FORTRAN program.
+WORKLOADS: Dict[str, Type[WorkloadGenerator]] = {
+    "health": HealthWorkload,
+    "burg": BurgWorkload,
+    "deltablue": DeltaBlueWorkload,
+    "gs": GhostscriptWorkload,
+    "sis": SisWorkload,
+    "turb3d": Turb3dWorkload,
+}
+
+#: The pointer-intensive subset the paper's averages are computed over.
+POINTER_WORKLOADS = ("health", "burg", "deltablue", "gs", "sis")
+
+
+def workload_names() -> List[str]:
+    return list(WORKLOADS)
+
+
+def get_workload_generator(
+    name: str, seed: int = 1, scale: float = 1.0, **kwargs
+) -> WorkloadGenerator:
+    """Instantiate a workload generator by benchmark name."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(WORKLOADS)
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+    return factory(seed=seed, scale=scale, **kwargs)
+
+
+def get_workload(
+    name: str, seed: int = 1, scale: float = 1.0, **kwargs
+) -> Iterator[TraceRecord]:
+    """An unbounded trace for ``name`` (convenience over the generator)."""
+    return get_workload_generator(name, seed=seed, scale=scale, **kwargs).generate()

@@ -1,0 +1,139 @@
+"""Unit tests for stream-buffer allocation filters (Section 4.3)."""
+
+from repro.config import AllocationPolicy, SchedulingPolicy, StreamBufferConfig
+from repro.predictors.base import AddressPredictor, StreamState
+from repro.streambuf.allocation import (
+    AlwaysAllocate,
+    ConfidenceAllocationFilter,
+    TwoMissFilter,
+    make_allocation_filter,
+)
+from repro.streambuf.buffer import StreamBuffer
+
+
+class _FakePredictor(AddressPredictor):
+    """Predictor stub with controllable confidence/readiness."""
+
+    def __init__(self, confidence=0, ready=False):
+        self.confidence = confidence
+        self.ready = ready
+
+    def train(self, pc, address):
+        return False
+
+    def make_stream_state(self, pc, address):
+        return StreamState(pc, address)
+
+    def next_prediction(self, state):
+        return None
+
+    def confidence_for(self, pc):
+        return self.confidence
+
+    def allocation_ready(self, pc):
+        return self.ready
+
+
+def _buffers(count=4, priority_max=12):
+    return [StreamBuffer(i, 4, priority_max) for i in range(count)]
+
+
+def _allocate_all(buffers, priority=0, cycle=0):
+    for buffer in buffers:
+        buffer.allocate(StreamState(0x900 + buffer.index, 0), cycle, priority)
+
+
+class TestAlwaysAllocate:
+    def test_prefers_unallocated(self):
+        buffers = _buffers()
+        buffers[0].allocate(StreamState(0x1, 0), cycle=0)
+        victim = AlwaysAllocate().choose_victim(0x100, _FakePredictor(), buffers)
+        assert victim is buffers[1]
+
+    def test_lru_when_full(self):
+        buffers = _buffers(2)
+        _allocate_all(buffers)
+        buffers[0].last_use_cycle = 100
+        buffers[1].last_use_cycle = 50
+        victim = AlwaysAllocate().choose_victim(0x100, _FakePredictor(), buffers)
+        assert victim is buffers[1]
+
+
+class TestTwoMissFilter:
+    def test_denies_unready_load(self):
+        victim = TwoMissFilter().choose_victim(
+            0x100, _FakePredictor(ready=False), _buffers()
+        )
+        assert victim is None
+
+    def test_admits_ready_load(self):
+        victim = TwoMissFilter().choose_victim(
+            0x100, _FakePredictor(ready=True), _buffers()
+        )
+        assert victim is not None
+
+
+class TestConfidenceFilter:
+    def _filter(self, threshold=1):
+        config = StreamBufferConfig(
+            allocation=AllocationPolicy.CONFIDENCE,
+            confidence_threshold=threshold,
+        )
+        return ConfidenceAllocationFilter(config)
+
+    def test_denies_below_threshold(self):
+        victim = self._filter().choose_victim(
+            0x100, _FakePredictor(confidence=0), _buffers()
+        )
+        assert victim is None
+
+    def test_admits_into_unallocated_buffer(self):
+        victim = self._filter().choose_victim(
+            0x100, _FakePredictor(confidence=1), _buffers()
+        )
+        assert victim is not None
+        assert not victim.allocated
+
+    def test_must_beat_a_buffer(self):
+        """A load only reallocates when some buffer's priority is <= its
+        confidence — productive buffers protect themselves."""
+        buffers = _buffers(2)
+        _allocate_all(buffers, priority=9)
+        victim = self._filter().choose_victim(
+            0x100, _FakePredictor(confidence=5), buffers
+        )
+        assert victim is None
+
+    def test_picks_lowest_priority_beatable(self):
+        buffers = _buffers(3)
+        _allocate_all(buffers)
+        buffers[0].priority.set(3)
+        buffers[1].priority.set(1)
+        buffers[2].priority.set(9)
+        victim = self._filter().choose_victim(
+            0x100, _FakePredictor(confidence=5), buffers
+        )
+        assert victim is buffers[1]
+
+    def test_lru_breaks_priority_tie(self):
+        buffers = _buffers(2)
+        _allocate_all(buffers, priority=2)
+        buffers[0].last_use_cycle = 70
+        buffers[1].last_use_cycle = 30
+        victim = self._filter().choose_victim(
+            0x100, _FakePredictor(confidence=5), buffers
+        )
+        assert victim is buffers[1]
+
+
+class TestFactory:
+    def test_builds_each_policy(self):
+        for policy, cls in [
+            (AllocationPolicy.ALWAYS, AlwaysAllocate),
+            (AllocationPolicy.TWO_MISS, TwoMissFilter),
+            (AllocationPolicy.CONFIDENCE, ConfidenceAllocationFilter),
+        ]:
+            config = StreamBufferConfig(
+                allocation=policy, scheduling=SchedulingPolicy.ROUND_ROBIN
+            )
+            assert isinstance(make_allocation_filter(config), cls)

@@ -1,0 +1,81 @@
+"""Tests for the Figure 4 analysis and report rendering."""
+
+import itertools
+
+from repro.analysis.markov_bits import markov_delta_bits
+from repro.analysis.report import ascii_bar_chart, ascii_table
+from repro.trace.record import InstrKind, TraceRecord
+from repro.workloads import get_workload
+
+
+class TestMarkovBits:
+    def test_small_deltas_need_few_bits(self):
+        # Loads at one PC missing every block: deltas of 32 bytes.
+        records = [
+            TraceRecord(InstrKind.LOAD, 0x100, addr=0x100000 + i * 4096)
+            for i in range(64)
+        ]
+        analysis = markov_delta_bits(records, max_instructions=10_000)
+        assert analysis.transitions == 63
+        assert analysis.coverage_at(14) == 1.0
+        assert analysis.coverage_at(8) == 0.0
+
+    def test_hits_do_not_produce_transitions(self):
+        records = [
+            TraceRecord(InstrKind.LOAD, 0x100, addr=0x100000)
+            for __ in range(10)
+        ]
+        analysis = markov_delta_bits(records, max_instructions=100)
+        assert analysis.transitions == 0  # one miss, nine hits
+
+    def test_transitions_are_per_pc(self):
+        # Two PCs interleaved: each strides by one page; the per-PC
+        # deltas are 4096 (13 signed bits), not the interleaved 2048.
+        records = []
+        for i in range(32):
+            records.append(
+                TraceRecord(InstrKind.LOAD, 0x100, addr=0x100000 + i * 4096)
+            )
+            records.append(
+                TraceRecord(InstrKind.LOAD, 0x200, addr=0x800000 + i * 4096)
+            )
+        analysis = markov_delta_bits(records, max_instructions=1_000)
+        assert analysis.coverage_at(14) == 1.0
+        assert analysis.coverage_at(13) == 0.0  # 4096 needs exactly 14 signed bits
+
+    def test_sixteen_bits_cover_most_of_every_workload(self):
+        """The paper's headline claim for Figure 4."""
+        for name in ("health", "deltablue"):
+            trace = itertools.islice(get_workload(name), 30_000)
+            analysis = markov_delta_bits(trace, max_instructions=30_000)
+            assert analysis.coverage_at(16) > 0.85
+
+    def test_coverage_curve_monotone(self):
+        trace = itertools.islice(get_workload("burg"), 20_000)
+        analysis = markov_delta_bits(trace, max_instructions=20_000)
+        curve = analysis.coverage_curve(range(1, 33))
+        assert curve == sorted(curve)
+
+
+class TestReport:
+    def test_ascii_table_aligns(self):
+        text = ascii_table(
+            ["name", "ipc"], [["health", 0.5], ["turb3d", 1.08]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "health" in text
+        assert all(len(line) <= 40 for line in lines)
+
+    def test_ascii_bar_chart(self):
+        text = ascii_bar_chart({"a": 50.0, "b": 25.0}, width=10, unit="%")
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_bar_chart_negative_values(self):
+        text = ascii_bar_chart({"down": -10.0, "up": 20.0})
+        assert "-" in text.splitlines()[0]
+
+    def test_bar_chart_empty(self):
+        assert ascii_bar_chart({}, title="empty") == "empty"

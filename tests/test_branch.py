@@ -1,0 +1,61 @@
+"""Unit tests for the gshare branch predictor."""
+
+import pytest
+
+from repro.cpu.branch import GsharePredictor
+
+
+class TestGshare:
+    def test_learns_always_taken(self):
+        predictor = GsharePredictor(history_bits=10)
+        results = [predictor.update(0x400, True) for __ in range(50)]
+        assert all(results[10:])
+
+    def test_learns_alternating_with_history(self):
+        """gshare's history lets it learn T/N/T/N perfectly."""
+        predictor = GsharePredictor(history_bits=10)
+        outcomes = [bool(i % 2) for i in range(300)]
+        results = [predictor.update(0x400, taken) for taken in outcomes]
+        assert all(results[-50:])
+
+    def test_random_stream_mispredicts(self):
+        import random
+
+        rng = random.Random(3)
+        predictor = GsharePredictor(history_bits=10)
+        for __ in range(500):
+            predictor.update(rng.randrange(0, 1 << 20) * 4, rng.random() < 0.5)
+        assert predictor.misprediction_rate > 0.3
+
+    def test_counts(self):
+        predictor = GsharePredictor()
+        predictor.update(0x400, True)
+        assert predictor.predictions == 1
+
+    def test_reset_stats(self):
+        predictor = GsharePredictor()
+        predictor.update(0x400, False)
+        predictor.reset_stats()
+        assert predictor.predictions == 0
+        assert predictor.mispredictions == 0
+
+    def test_predict_without_update(self):
+        predictor = GsharePredictor()
+        before = predictor.predictions
+        predictor.predict(0x400)
+        assert predictor.predictions == before
+
+    def test_rejects_bad_history_bits(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(history_bits=0)
+
+    def test_distinct_branches_decorrelated(self):
+        """Two branches with opposite biases should both be predictable."""
+        predictor = GsharePredictor(history_bits=12)
+        correct = 0
+        total = 0
+        for i in range(400):
+            correct += predictor.update(0x1000, True)
+            correct += predictor.update(0x2000, False)
+            total += 2
+        assert correct / total > 0.8

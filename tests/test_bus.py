@@ -1,0 +1,90 @@
+"""Unit tests for the interval-reservation bus model."""
+
+from repro.config import BusConfig
+from repro.memory.bus import Bus
+
+
+def _bus(bandwidth=8):
+    return Bus(BusConfig(name="test", bytes_per_cycle=bandwidth))
+
+
+class TestBusBasics:
+    def test_initially_free(self):
+        assert _bus().is_free_at(0)
+        assert _bus().is_free_at(1000)
+
+    def test_acquire_returns_start(self):
+        bus = _bus()
+        assert bus.acquire(5, 32) == 5
+
+    def test_busy_during_transfer(self):
+        bus = _bus()
+        bus.acquire(10, 32)  # 4 cycles: busy [10, 14)
+        assert not bus.is_free_at(10)
+        assert not bus.is_free_at(13)
+        assert bus.is_free_at(14)
+        assert bus.is_free_at(9)
+
+    def test_serializes_overlapping_requests(self):
+        bus = _bus()
+        first = bus.acquire(0, 32)
+        second = bus.acquire(0, 32)
+        assert first == 0
+        assert second == 4
+
+    def test_future_reservation_leaves_gap_free(self):
+        """The window between a request and its refill must stay free —
+        this is the slack stream-buffer prefetches use."""
+        bus = _bus()
+        bus.acquire(20, 32)  # refill booked for [20, 24)
+        assert bus.is_free_at(5)
+        assert bus.is_free_at(19)
+        assert not bus.is_free_at(21)
+
+    def test_fits_transfer_into_gap(self):
+        bus = _bus()
+        bus.acquire(0, 32)  # [0, 4)
+        bus.acquire(20, 32)  # [20, 24)
+        start = bus.acquire(0, 32)  # should slot into [4, 8)
+        assert start == 4
+
+    def test_skips_too_small_gap(self):
+        bus = _bus()
+        bus.acquire(0, 32)  # [0, 4)
+        bus.acquire(6, 32)  # [6, 10)
+        start = bus.acquire(0, 32)  # gap [4, 6) too small for 4 cycles
+        assert start == 10
+
+
+class TestBusStats:
+    def test_busy_cycles_accumulate(self):
+        bus = _bus()
+        bus.acquire(0, 32)
+        bus.acquire(0, 16)
+        assert bus.busy_cycles == 6
+        assert bus.transactions == 2
+
+    def test_utilization(self):
+        bus = _bus()
+        bus.acquire(0, 32)
+        assert bus.utilization(8) == 0.5
+        assert bus.utilization(0) == 0.0
+
+    def test_utilization_capped_at_one(self):
+        bus = _bus()
+        bus.acquire(0, 800)
+        assert bus.utilization(10) == 1.0
+
+    def test_reset_stats(self):
+        bus = _bus()
+        bus.acquire(0, 32)
+        bus.reset_stats()
+        assert bus.busy_cycles == 0
+        assert bus.transactions == 0
+
+    def test_prune_discards_past_reservations(self):
+        bus = _bus()
+        for i in range(100):
+            bus.acquire(i * 10, 16)
+        assert bus.is_free_at(10_000)  # also prunes
+        assert bus.busy_cycles == 200

@@ -1,0 +1,113 @@
+"""Unit tests for the set-associative cache."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.memory.cache import SetAssociativeCache
+
+
+def _tiny_cache(sets=2, ways=2, block=32):
+    return SetAssociativeCache(
+        CacheConfig(
+            name="tiny",
+            size_bytes=sets * ways * block,
+            associativity=ways,
+            block_size=block,
+            hit_latency=1,
+        )
+    )
+
+
+class TestLookup:
+    def test_miss_then_hit_after_insert(self):
+        cache = _tiny_cache()
+        assert not cache.access(0x100)
+        cache.insert(0x100)
+        assert cache.access(0x100)
+
+    def test_same_block_aliases(self):
+        cache = _tiny_cache()
+        cache.insert(0x100)
+        assert cache.access(0x11F)  # same 32-byte block
+        assert not cache.access(0x120)  # next block
+
+    def test_probe_does_not_count(self):
+        cache = _tiny_cache()
+        cache.insert(0x100)
+        cache.probe(0x100)
+        assert cache.accesses == 0
+
+
+class TestReplacement:
+    def test_lru_eviction(self):
+        cache = _tiny_cache(sets=1, ways=2)
+        cache.insert(0x000)
+        cache.insert(0x020)
+        cache.access(0x000)  # touch: 0x020 becomes LRU
+        victim = cache.insert(0x040)
+        assert victim == (0x020, False)
+        assert cache.probe(0x000)
+        assert not cache.probe(0x020)
+
+    def test_insert_existing_refreshes_without_eviction(self):
+        cache = _tiny_cache(sets=1, ways=2)
+        cache.insert(0x000)
+        cache.insert(0x020)
+        assert cache.insert(0x000) is None
+        victim = cache.insert(0x040)
+        assert victim == (0x020, False)
+
+    def test_blocks_map_to_distinct_sets(self):
+        cache = _tiny_cache(sets=2, ways=1)
+        cache.insert(0x000)  # set 0
+        cache.insert(0x020)  # set 1
+        assert cache.probe(0x000)
+        assert cache.probe(0x020)
+        assert cache.resident_blocks == 2
+
+
+class TestDirtyState:
+    def test_store_marks_dirty(self):
+        cache = _tiny_cache(sets=1, ways=1)
+        cache.insert(0x000)
+        cache.access(0x000, is_store=True)
+        victim = cache.insert(0x020)
+        assert victim == (0x000, True)
+        assert cache.dirty_evictions == 1
+
+    def test_insert_dirty(self):
+        cache = _tiny_cache(sets=1, ways=1)
+        cache.insert(0x000, dirty=True)
+        victim = cache.insert(0x020)
+        assert victim == (0x000, True)
+
+    def test_mark_dirty_absent_block(self):
+        cache = _tiny_cache()
+        assert not cache.mark_dirty(0x500)
+
+    def test_invalidate(self):
+        cache = _tiny_cache()
+        cache.insert(0x100)
+        assert cache.invalidate(0x100)
+        assert not cache.invalidate(0x100)
+        assert not cache.probe(0x100)
+
+
+class TestStats:
+    def test_miss_rate(self):
+        cache = _tiny_cache()
+        cache.access(0x000)  # miss
+        cache.insert(0x000)
+        cache.access(0x000)  # hit
+        cache.access(0x000)  # hit
+        assert cache.accesses == 3
+        assert cache.misses == 1
+        assert cache.miss_rate == pytest.approx(1 / 3)
+
+    def test_reset_stats_keeps_contents(self):
+        cache = _tiny_cache()
+        cache.insert(0x100)
+        cache.access(0x100)
+        cache.reset_stats()
+        assert cache.accesses == 0
+        assert cache.probe(0x100)

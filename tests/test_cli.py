@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import MACHINES, main
+from repro.trace.io import load_trace_list
+
+
+class TestWorkloadsCommand:
+    def test_lists_all_six(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("health", "burg", "deltablue", "gs", "sis", "turb3d"):
+            assert name in out
+
+
+class TestRunCommand:
+    def test_runs_baseline(self, capsys):
+        code = main(
+            ["run", "health", "--machine", "base", "--instructions", "3000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "prefetches issued" in out
+
+    def test_runs_psb(self, capsys):
+        code = main(
+            ["run", "health", "--machine", "psb",
+             "--instructions", "8000", "--warmup", "2000"]
+        )
+        assert code == 0
+        assert "prefetch accuracy" in capsys.readouterr().out
+
+    def test_every_machine_name_is_buildable(self):
+        for maker in MACHINES.values():
+            config = maker()
+            assert config.l1_data.size_bytes == 32 * 1024
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["run", "quake"])
+
+    def test_rejects_unknown_machine(self):
+        with pytest.raises(SystemExit):
+            main(["run", "health", "--machine", "warp-drive"])
+
+
+class TestCompareCommand:
+    def test_prints_all_machines(self, capsys):
+        code = main(
+            ["compare", "turb3d", "--instructions", "4000", "--warmup", "1000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for label in ("Base", "Stride", "ConfAlloc-Priority"):
+            assert label in out
+
+
+class TestTraceCommand:
+    def test_writes_trace_file(self, tmp_path, capsys):
+        path = str(tmp_path / "out.trace")
+        code = main(
+            ["trace", "burg", "--out", path, "--instructions", "500"]
+        )
+        assert code == 0
+        records = load_trace_list(path)
+        assert len(records) == 500
+        assert "wrote 500 records" in capsys.readouterr().out

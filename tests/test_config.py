@@ -1,0 +1,113 @@
+"""Unit tests for repro.config."""
+
+import pytest
+
+from repro.config import (
+    AllocationPolicy,
+    BusConfig,
+    CacheConfig,
+    DisambiguationPolicy,
+    PrefetchConfig,
+    PrefetcherKind,
+    SimConfig,
+)
+
+
+class TestCacheConfig:
+    def test_baseline_l1_geometry(self):
+        config = SimConfig().l1_data
+        assert config.size_bytes == 32 * 1024
+        assert config.associativity == 4
+        assert config.block_size == 32
+        assert config.num_sets == 256
+        assert config.num_blocks == 1024
+
+    def test_baseline_l2_geometry(self):
+        config = SimConfig().l2_unified
+        assert config.size_bytes == 1024 * 1024
+        assert config.block_size == 64
+        assert config.hit_latency == 12
+
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ValueError):
+            CacheConfig(
+                name="bad", size_bytes=1024, associativity=2, block_size=24,
+                hit_latency=1,
+            )
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(
+                name="bad", size_bytes=1000, associativity=3, block_size=32,
+                hit_latency=1,
+            )
+
+
+class TestBusConfig:
+    def test_paper_bandwidths(self):
+        config = SimConfig()
+        assert config.l1_l2_bus.bytes_per_cycle == 8
+        assert config.l2_mem_bus.bytes_per_cycle == 4
+
+    def test_transfer_cycles_rounds_up(self):
+        bus = BusConfig(name="b", bytes_per_cycle=8)
+        assert bus.transfer_cycles(32) == 4
+        assert bus.transfer_cycles(33) == 5
+        assert bus.transfer_cycles(1) == 1
+
+
+class TestCoreConfig:
+    def test_paper_parameters(self):
+        core = SimConfig().core
+        assert core.fetch_width == 8
+        assert core.rob_entries == 128
+        assert core.lsq_entries == 64
+        assert core.mispredict_penalty == 8
+        assert core.store_forward_latency == 2
+        assert core.branch_predictions_per_cycle == 2
+        assert core.disambiguation == DisambiguationPolicy.PERFECT_STORE_SETS
+
+
+class TestSimConfigHelpers:
+    def test_with_prefetcher(self):
+        base = SimConfig()
+        psb = base.with_prefetcher(
+            PrefetchConfig(kind=PrefetcherKind.PREDICTOR_DIRECTED)
+        )
+        assert base.prefetch.kind == PrefetcherKind.NONE
+        assert psb.prefetch.kind == PrefetcherKind.PREDICTOR_DIRECTED
+
+    def test_with_l1_resizes_only_l1(self):
+        resized = SimConfig().with_l1(16 * 1024, 4)
+        assert resized.l1_data.size_bytes == 16 * 1024
+        assert resized.l2_unified.size_bytes == 1024 * 1024
+
+    def test_with_disambiguation(self):
+        nodis = SimConfig().with_disambiguation(
+            DisambiguationPolicy.NO_DISAMBIGUATION
+        )
+        assert nodis.core.disambiguation == DisambiguationPolicy.NO_DISAMBIGUATION
+
+    def test_configs_are_frozen(self):
+        config = SimConfig()
+        with pytest.raises(Exception):
+            config.warmup_instructions = 5
+
+    def test_default_prefetcher_is_none(self):
+        assert SimConfig().prefetch.kind == PrefetcherKind.NONE
+
+    def test_stream_buffer_paper_constants(self):
+        sb = PrefetchConfig().stream_buffers
+        assert sb.num_buffers == 8
+        assert sb.entries_per_buffer == 4
+        assert sb.priority_max == 12
+        assert sb.priority_hit_bonus == 2
+        assert sb.priority_age_period == 10
+        assert sb.confidence_threshold == 1
+        assert sb.allocation == AllocationPolicy.CONFIDENCE
+
+    def test_markov_paper_constants(self):
+        markov = PrefetchConfig().markov
+        assert markov.entries == 2048
+        assert markov.delta_bits == 16
+        assert markov.differential

@@ -1,0 +1,61 @@
+"""Unit tests for the order-k context predictor."""
+
+import pytest
+
+from repro.predictors.context import ContextPredictor
+
+
+class TestContextPredictor:
+    def test_learns_order2_pattern(self):
+        predictor = ContextPredictor(order=2)
+        sequence = [1, 2, 3, 1, 2, 3, 1, 2, 3]
+        results = [predictor.train(0, a) for a in sequence]
+        assert any(results[3:])  # predicted correctly after one period
+
+    def test_order1_equivalent_to_markov(self):
+        predictor = ContextPredictor(order=1)
+        for __ in range(3):
+            for address in (10, 20, 30):
+                predictor.train(0, address)
+        state = predictor.make_stream_state(0, 10)
+        assert predictor.next_prediction(state) == 20
+
+    def test_higher_order_disambiguates(self):
+        """Order-2 can tell 'A B -> C' from 'X B -> Y'; order-1 cannot."""
+        order2 = ContextPredictor(order=2)
+        sequence = [1, 2, 3, 9, 2, 7] * 6
+        hits2 = sum(order2.train(0, a) for a in sequence[12:])
+        order1 = ContextPredictor(order=1)
+        hits1 = sum(order1.train(0, a) for a in sequence[12:])
+        assert hits2 > hits1
+
+    def test_stream_state_walks_pattern(self):
+        predictor = ContextPredictor(order=2)
+        pattern = [5, 6, 7, 8]
+        for __ in range(4):
+            for address in pattern:
+                predictor.train(0, address)
+        state = predictor.make_stream_state(0, 8)  # history now [..., 8]
+        first = predictor.next_prediction(state)
+        second = predictor.next_prediction(state)
+        assert first == 5
+        assert second == 6
+
+    def test_no_prediction_with_short_history(self):
+        predictor = ContextPredictor(order=3)
+        predictor.train(0, 1)
+        state = predictor.make_stream_state(0, 1)
+        state.history = [1]
+        assert predictor.next_prediction(state) is None
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            ContextPredictor(order=0)
+
+    def test_accuracy_and_coverage_bounds(self):
+        predictor = ContextPredictor(order=1)
+        for __ in range(5):
+            for address in (10, 20, 30):
+                predictor.train(0, address)
+        assert 0.0 <= predictor.accuracy <= 1.0
+        assert 0.0 <= predictor.coverage <= 1.0

@@ -1,0 +1,121 @@
+"""Property-based fuzzing of the stream-buffer controller.
+
+Drives the controller with random miss streams and cycle advances and
+checks structural invariants that must hold whatever the input:
+
+- no two occupied entries (across all buffers) hold the same block;
+- entry-state bookkeeping stays consistent;
+- prefetches used never exceed prefetches issued;
+- every buffer's priority stays inside its saturating range.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    AllocationPolicy,
+    SchedulingPolicy,
+    SimConfig,
+    StreamBufferConfig,
+)
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.predictors.sfm import StrideFilteredMarkovPredictor
+from repro.streambuf.buffer import EntryState
+from repro.streambuf.controller import StreamBufferController
+
+BLOCK = 32
+
+#: A fuzz step: miss (pc index, block index) or a number of idle cycles.
+_steps = st.lists(
+    st.one_of(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),
+            st.integers(min_value=0, max_value=300),
+        ),
+        st.integers(min_value=1, max_value=30),
+    ),
+    max_size=120,
+)
+
+_policies = st.sampled_from(
+    [
+        (AllocationPolicy.ALWAYS, SchedulingPolicy.ROUND_ROBIN),
+        (AllocationPolicy.TWO_MISS, SchedulingPolicy.ROUND_ROBIN),
+        (AllocationPolicy.CONFIDENCE, SchedulingPolicy.PRIORITY),
+        (AllocationPolicy.CONFIDENCE, SchedulingPolicy.ROUND_ROBIN),
+    ]
+)
+
+
+def _check_invariants(controller):
+    seen_blocks = set()
+    for buffer in controller.buffers:
+        priority = int(buffer.priority)
+        assert 0 <= priority <= buffer.priority.maximum
+        for entry in buffer.entries:
+            if entry.state == EntryState.FREE:
+                continue
+            assert buffer.allocated
+            assert entry.block % BLOCK == 0
+            assert entry.block not in seen_blocks, "duplicate stream block"
+            seen_blocks.add(entry.block)
+            if entry.state in (EntryState.IN_FLIGHT, EntryState.READY):
+                assert entry.ready_cycle >= 0
+    assert controller.prefetches_used <= controller.prefetches_issued + 1
+
+
+class TestControllerFuzz:
+    @settings(max_examples=40, deadline=None)
+    @given(steps=_steps, policies=_policies)
+    def test_invariants_hold_under_random_miss_streams(self, steps, policies):
+        allocation, scheduling = policies
+        config = StreamBufferConfig(allocation=allocation, scheduling=scheduling)
+        controller = StreamBufferController(
+            config, StrideFilteredMarkovPredictor(), BLOCK
+        )
+        controller.attach(MemoryHierarchy(SimConfig()))
+        cycle = 0
+        for step in steps:
+            if isinstance(step, tuple):
+                pc_index, block_index = step
+                pc = 0x1000 + pc_index * 4
+                addr = 0x100000 + block_index * BLOCK
+                sb_ready = controller.probe(addr, cycle)
+                controller.on_l1_miss(
+                    pc, addr, cycle, sb_hit=sb_ready is not None
+                )
+            else:
+                for __ in range(step):
+                    cycle += 1
+                    controller.tick(cycle)
+            _check_invariants(controller)
+
+    @settings(max_examples=20, deadline=None)
+    @given(steps=_steps)
+    def test_probe_is_one_shot(self, steps):
+        """A block taken from a stream buffer is gone: probing the same
+        block again without a new prefetch must miss."""
+        config = StreamBufferConfig(
+            allocation=AllocationPolicy.ALWAYS,
+            scheduling=SchedulingPolicy.ROUND_ROBIN,
+        )
+        controller = StreamBufferController(
+            config, StrideFilteredMarkovPredictor(), BLOCK
+        )
+        controller.attach(MemoryHierarchy(SimConfig()))
+        cycle = 0
+        for step in steps:
+            if isinstance(step, tuple):
+                pc_index, block_index = step
+                addr = 0x100000 + block_index * BLOCK
+                first = controller.probe(addr, cycle)
+                if first is not None:
+                    assert controller.probe(addr, cycle) is None
+                controller.on_l1_miss(
+                    0x1000 + pc_index * 4, addr, cycle,
+                    sb_hit=first is not None,
+                )
+            else:
+                for __ in range(step):
+                    cycle += 1
+                    controller.tick(cycle)

@@ -1,0 +1,186 @@
+"""Unit tests for the out-of-order core timing model."""
+
+import pytest
+
+from repro.config import CoreConfig, DisambiguationPolicy, SimConfig
+from repro.cpu.core import OutOfOrderCore
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.trace.record import InstrKind, TraceRecord
+
+
+def _run(records, core_config=None, sim_config=None, **kwargs):
+    sim_config = sim_config or SimConfig()
+    hierarchy = MemoryHierarchy(sim_config)
+    core = OutOfOrderCore(core_config or sim_config.core, hierarchy)
+    stats = core.run(records, **kwargs)
+    return stats, core, hierarchy
+
+
+def _alu(count, dep=0):
+    return [TraceRecord(InstrKind.IALU, 0x1000 + 4 * i, dep1=dep) for i in range(count)]
+
+
+class TestThroughput:
+    def test_independent_alus_reach_high_ipc(self):
+        stats, __, __ = _run(_alu(4000))
+        assert stats.retired == 4000
+        assert stats.ipc > 4.0
+
+    def test_dependent_chain_is_serial(self):
+        stats, __, __ = _run(_alu(2000, dep=1))
+        assert stats.ipc < 1.2
+
+    def test_retire_width_caps_ipc(self):
+        stats, __, __ = _run(_alu(4000))
+        assert stats.ipc <= 8.0
+
+    def test_divider_chain_slow(self):
+        records = [
+            TraceRecord(InstrKind.IDIV, 0x1000 + 4 * i, dep1=1) for i in range(200)
+        ]
+        stats, __, __ = _run(records)
+        assert stats.ipc < 0.12
+
+
+class TestMemory:
+    def test_load_latency_recorded(self):
+        records = [TraceRecord(InstrKind.LOAD, 0x1000, addr=0x8000)]
+        stats, __, __ = _run(records)
+        assert stats.loads == 1
+        assert stats.load_latency.count == 1
+        assert stats.load_latency.mean > 100  # cold miss to DRAM
+
+    def test_l1_hit_is_fast(self):
+        records = [
+            TraceRecord(InstrKind.LOAD, 0x1000, addr=0x8000),
+            TraceRecord(InstrKind.LOAD, 0x1004, addr=0x8000, dep1=1),
+        ]
+        stats, __, __ = _run(records)
+        assert stats.load_latency.maximum > 100
+        # Second load waited on the first, then hit the L1.
+        assert stats.load_latency.total - stats.load_latency.maximum <= 2
+
+    def test_pointer_chase_serializes_misses(self):
+        records = []
+        for i in range(50):
+            records.append(
+                TraceRecord(
+                    InstrKind.LOAD, 0x1000, addr=0x10000 + i * 4096, dep1=1 if i else 0
+                )
+            )
+        stats, __, __ = _run(records)
+        assert stats.ipc < 0.05  # every load waits for the previous miss
+
+    def test_store_does_not_stall_retire(self):
+        records = [TraceRecord(InstrKind.STORE, 0x1000, addr=0x8000)] + _alu(100)
+        stats, __, __ = _run(records)
+        assert stats.cycles < 120  # did not wait for the store miss
+
+
+class TestStoreForwarding:
+    def test_same_word_load_forwards(self):
+        records = [
+            TraceRecord(InstrKind.STORE, 0x1000, addr=0x8000),
+            TraceRecord(InstrKind.LOAD, 0x1004, addr=0x8000),
+        ]
+        stats, __, hierarchy = _run(records)
+        assert stats.forwarded_loads == 1
+        # Forwarded loads never touch the memory hierarchy.
+        assert hierarchy.demand_accesses == 1  # just the store
+
+    def test_forward_latency_two_cycles(self):
+        records = [
+            TraceRecord(InstrKind.STORE, 0x1000, addr=0x8000),
+            TraceRecord(InstrKind.LOAD, 0x1004, addr=0x8000),
+        ]
+        stats, __, __ = _run(records)
+        assert stats.load_latency.mean == 2.0
+
+    def test_nodis_serializes_behind_unrelated_store(self):
+        records = [
+            TraceRecord(InstrKind.LOAD, 0x1000, addr=0x80000),  # long miss
+            TraceRecord(InstrKind.STORE, 0x1004, addr=0x80000, dep1=1),
+            TraceRecord(InstrKind.LOAD, 0x1008, addr=0x20000),  # unrelated
+        ]
+        config = SimConfig()
+        fast = _run(records, sim_config=config)[0]
+        nodis_core = CoreConfig(disambiguation=DisambiguationPolicy.NO_DISAMBIGUATION)
+        slow = _run(records, core_config=nodis_core, sim_config=config)[0]
+        assert slow.cycles > fast.cycles
+
+
+class TestBranches:
+    def test_predictable_branches_cheap(self):
+        records = []
+        for i in range(2000):
+            records.append(TraceRecord(InstrKind.IALU, 0x1000))
+            records.append(TraceRecord(InstrKind.BRANCH, 0x2000, taken=True))
+        stats, core, __ = _run(records)
+        assert core.branch_predictor.misprediction_rate < 0.05
+        assert stats.ipc > 3.0
+
+    def test_random_branches_cost_cycles(self):
+        import random
+
+        rng = random.Random(11)
+        predictable = []
+        unpredictable = []
+        for i in range(1500):
+            predictable.append(TraceRecord(InstrKind.BRANCH, 0x2000, taken=True))
+            unpredictable.append(
+                TraceRecord(InstrKind.BRANCH, 0x2000, taken=rng.random() < 0.5)
+            )
+        fast = _run(predictable)[0]
+        slow = _run(unpredictable)[0]
+        assert slow.cycles > fast.cycles * 3
+
+    def test_branch_count(self):
+        records = [TraceRecord(InstrKind.BRANCH, 0x2000, taken=True)] * 10
+        stats, __, __ = _run(records)
+        assert stats.branches == 10
+
+
+class TestWindow:
+    def test_rob_limits_runahead(self):
+        """A load miss at the ROB head must stall retirement; independent
+        work beyond the 128-entry window cannot proceed."""
+        records = [TraceRecord(InstrKind.LOAD, 0x1000, addr=0x80000)] + _alu(1000)
+        stats, __, __ = _run(records)
+        # The miss takes ~140 cycles; with an infinite window 1000 ALUs
+        # would finish underneath it (IPC ~7); the ROB prevents that.
+        assert stats.cycles > 200
+
+    def test_max_instructions_caps_run(self):
+        stats, __, __ = _run(_alu(5000), max_instructions=1000)
+        assert stats.retired == 1000
+
+
+class TestWarmup:
+    def test_warmup_excluded_from_stats(self):
+        records = _alu(3000)
+        full = _run(records)[0]
+        windowed = _run(_alu(3000), warmup_instructions=1000)[0]
+        assert windowed.retired == 2000
+        assert windowed.cycles < full.cycles
+
+    def test_warmup_callback_invoked(self):
+        called = []
+        _run(_alu(2000), warmup_instructions=500,
+             on_warmup_end=lambda: called.append(True))
+        assert called == [True]
+
+
+class TestDeadlockGuard:
+    def test_wedged_core_raises(self):
+        class BrokenHierarchy(MemoryHierarchy):
+            def access(self, pc, address, cycle, is_store=False):
+                from repro.memory.hierarchy import AccessResult
+
+                return AccessResult(10**9, "mem", True, 10**9)
+
+        config = SimConfig()
+        hierarchy = BrokenHierarchy(config)
+        core = OutOfOrderCore(config.core, hierarchy)
+        records = [TraceRecord(InstrKind.LOAD, 0x1000, addr=0x8000)]
+        with pytest.raises(RuntimeError):
+            core.run(records)

@@ -1,0 +1,152 @@
+"""Edge-case tests for the out-of-order core."""
+
+from repro.config import CoreConfig, SimConfig
+from repro.cpu.core import OutOfOrderCore
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.trace.record import InstrKind, TraceRecord
+
+
+def _run(records, core_config=None, **kwargs):
+    sim_config = SimConfig()
+    hierarchy = MemoryHierarchy(sim_config)
+    core = OutOfOrderCore(core_config or sim_config.core, hierarchy)
+    return core.run(records, **kwargs), core, hierarchy
+
+
+class TestEmptyAndTiny:
+    def test_empty_trace(self):
+        stats, __, __ = _run([])
+        assert stats.retired == 0
+        assert stats.ipc == 0.0
+
+    def test_single_instruction(self):
+        stats, __, __ = _run([TraceRecord(InstrKind.IALU, 0x1000)])
+        assert stats.retired == 1
+
+    def test_zero_max_instructions(self):
+        stats, __, __ = _run(
+            [TraceRecord(InstrKind.IALU, 0x1000)] * 10, max_instructions=0
+        )
+        assert stats.retired == 0
+
+
+class TestLsqPressure:
+    def test_lsq_full_blocks_memory_dispatch(self):
+        """With a 2-entry LSQ, a long-latency load blocks further memory
+        operations from dispatching until it retires."""
+        config = CoreConfig(lsq_entries=2)
+        records = [
+            TraceRecord(InstrKind.LOAD, 0x1000 + 4 * i, addr=0x100000 + i * 4096)
+            for i in range(8)
+        ]
+        small, __, __ = _run(records, core_config=config)
+        big, __, __ = _run(records, core_config=CoreConfig(lsq_entries=64))
+        assert small.cycles > big.cycles
+
+    def test_non_memory_work_proceeds_past_full_lsq(self):
+        """ALU work after a blocked memory op can still dispatch only if
+        it is fetched before the blocked record — fetch is in-order."""
+        config = CoreConfig(lsq_entries=1)
+        records = [
+            TraceRecord(InstrKind.LOAD, 0x1000, addr=0x100000),
+            TraceRecord(InstrKind.LOAD, 0x1004, addr=0x200000),
+        ] + [TraceRecord(InstrKind.IALU, 0x2000)] * 10
+        stats, __, __ = _run(records, core_config=config)
+        assert stats.retired == 12
+
+
+class TestBranchFetchCap:
+    def test_more_than_two_branches_split_across_cycles(self):
+        """Only two branch predictions per fetch cycle (Section 5.1)."""
+        branches = [
+            TraceRecord(InstrKind.BRANCH, 0x1000 + 4 * i, taken=True)
+            for i in range(400)
+        ]
+        stats, __, __ = _run(branches)
+        # 400 predictable branches at 2 per cycle need >= 200 cycles.
+        assert stats.cycles >= 200
+
+    def test_alu_heavy_code_not_branch_capped(self):
+        records = []
+        for i in range(200):
+            records.extend(
+                TraceRecord(InstrKind.IALU, 0x1000 + 4 * j) for j in range(7)
+            )
+            records.append(TraceRecord(InstrKind.BRANCH, 0x3000, taken=True))
+        stats, __, __ = _run(records)
+        assert stats.ipc > 4.0
+
+
+class TestDividerContention:
+    def test_two_dividers_limit_throughput(self):
+        """2 unpipelined 12-cycle dividers -> at most one IDIV per 6
+        cycles of steady state."""
+        records = [
+            TraceRecord(InstrKind.IDIV, 0x1000 + 4 * i) for i in range(100)
+        ]
+        stats, __, __ = _run(records)
+        assert stats.cycles >= 100 / 2 * 12 * 0.8
+
+    def test_mults_unaffected_by_div_latency(self):
+        records = [
+            TraceRecord(InstrKind.IMUL, 0x1000 + 4 * i) for i in range(100)
+        ]
+        stats, __, __ = _run(records)
+        assert stats.cycles < 100
+
+
+class TestWarmupEdges:
+    def test_warmup_equal_to_trace_length(self):
+        records = [TraceRecord(InstrKind.IALU, 0x1000)] * 50
+        stats, __, __ = _run(records, warmup_instructions=50)
+        assert stats.retired == 0
+
+    def test_warmup_larger_than_trace(self):
+        records = [TraceRecord(InstrKind.IALU, 0x1000)] * 50
+        stats, __, __ = _run(records, warmup_instructions=500)
+        # Warm-up never completes; the stats window is the whole run.
+        assert stats.retired == 50
+
+
+class TestDependenceEdges:
+    def test_dependence_on_retired_instruction_is_satisfied(self):
+        records = [TraceRecord(InstrKind.IALU, 0x1000)] * 300
+        records.append(TraceRecord(InstrKind.IALU, 0x2000, dep1=300))
+        stats, __, __ = _run(records)
+        assert stats.retired == 301
+
+    def test_dep_distance_beyond_trace_start_ignored(self):
+        records = [TraceRecord(InstrKind.IALU, 0x1000, dep1=50, dep2=99)]
+        stats, __, __ = _run(records)
+        assert stats.retired == 1
+
+    def test_duplicate_deps_counted_once(self):
+        records = [
+            TraceRecord(InstrKind.LOAD, 0x1000, addr=0x100000),
+            TraceRecord(InstrKind.IALU, 0x1004, dep1=1, dep2=1),
+        ]
+        stats, __, __ = _run(records)
+        assert stats.retired == 2
+
+
+class TestStoreHeavyCode:
+    def test_store_burst_completes(self):
+        records = [
+            TraceRecord(InstrKind.STORE, 0x1000 + 4 * i, addr=0x100000 + i * 8)
+            for i in range(300)
+        ]
+        stats, __, hierarchy = _run(records)
+        assert stats.retired == 300
+        assert stats.stores == 300
+        assert hierarchy.demand_accesses == 300
+
+    def test_forwarding_chain(self):
+        """Store -> load -> store -> load on one word all forward."""
+        records = []
+        for i in range(10):
+            records.append(
+                TraceRecord(InstrKind.STORE, 0x1000, addr=0x8000, dep1=1 if i else 0)
+            )
+            records.append(TraceRecord(InstrKind.LOAD, 0x1004, addr=0x8000))
+        stats, __, __ = _run(records)
+        assert stats.forwarded_loads == 10

@@ -1,0 +1,74 @@
+"""Tests for the correlated base-address predictor."""
+
+from repro.predictors.correlated import CorrelatedAddressPredictor
+
+
+def _object_walk(bases, offset):
+    """Addresses of one field across a repeating object sequence."""
+    return [base + offset for base in bases]
+
+
+class TestCorrelatedPredictor:
+    def test_learns_repeating_base_sequence(self):
+        predictor = CorrelatedAddressPredictor(history_depth=2)
+        bases = [0x1000, 0x2300, 0x4100, 0x0800]
+        correct_last_round = 0
+        for round_index in range(5):
+            correct_last_round = sum(
+                predictor.train(0x500, address)
+                for address in _object_walk(bases, offset=0x10)
+            )
+        assert correct_last_round >= 3
+
+    def test_correlates_across_offsets(self):
+        """Two loads reading different fields of the same objects share
+        the base-address history structure."""
+        predictor = CorrelatedAddressPredictor(history_depth=2)
+        bases = [0x1000, 0x2300, 0x4100, 0x0800]
+        for __ in range(4):
+            for base in bases:
+                predictor.train(0x500, base + 0x10)
+        # A different load with another offset but the same base pattern.
+        hits = 0
+        for __ in range(3):
+            for base in bases:
+                hits += predictor.train(0x600, base + 0x20)
+        assert hits >= 3
+
+    def test_random_stream_low_confidence(self):
+        import random
+
+        rng = random.Random(5)
+        predictor = CorrelatedAddressPredictor()
+        for __ in range(80):
+            predictor.train(0x500, rng.randrange(0, 1 << 28))
+        assert predictor.confidence_for(0x500) <= 1
+
+    def test_stream_state_walks_pattern(self):
+        predictor = CorrelatedAddressPredictor(history_depth=2)
+        bases = [0x1000, 0x2300, 0x4100]
+        for __ in range(5):
+            for base in bases:
+                predictor.train(0x500, base)
+        state = predictor.make_stream_state(0x500, bases[-1])
+        predictions = [predictor.next_prediction(state) for __ in range(3)]
+        assert predictions[0] is not None
+
+    def test_no_prediction_with_short_history(self):
+        predictor = CorrelatedAddressPredictor(history_depth=4)
+        predictor.train(0x500, 0x1000)
+        state = predictor.make_stream_state(0x500, 0x1000)
+        assert predictor.next_prediction(state) is None
+
+    def test_first_level_capacity(self):
+        predictor = CorrelatedAddressPredictor(first_level_entries=2)
+        predictor.train(0x100, 0x1000)
+        predictor.train(0x200, 0x2000)
+        predictor.train(0x300, 0x3000)  # evicts 0x100
+        assert predictor.confidence_for(0x100) == 0
+
+    def test_accuracy_statistic_bounds(self):
+        predictor = CorrelatedAddressPredictor()
+        for i in range(20):
+            predictor.train(0x100, 0x1000 * (i % 4))
+        assert 0.0 <= predictor.accuracy <= 1.0

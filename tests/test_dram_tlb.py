@@ -1,0 +1,66 @@
+"""Unit tests for main memory and the data TLB."""
+
+from repro.config import BusConfig, MemoryConfig, TlbConfig
+from repro.memory.bus import Bus
+from repro.memory.dram import MainMemory
+from repro.memory.tlb import DataTlb
+
+
+class TestMainMemory:
+    def _memory(self):
+        bus = Bus(BusConfig(name="L2-Mem", bytes_per_cycle=4))
+        return MainMemory(MemoryConfig(access_latency=120), bus), bus
+
+    def test_uncontended_latency(self):
+        memory, bus = self._memory()
+        # 120-cycle access + 64 bytes at 4 B/cycle = 16-cycle transfer.
+        assert memory.access(0, 64) == 136
+
+    def test_bus_contention_serializes(self):
+        memory, bus = self._memory()
+        first = memory.access(0, 64)
+        second = memory.access(0, 64)
+        assert first == 136
+        assert second == 152  # transfer waits for the bus
+
+    def test_counts_accesses(self):
+        memory, __ = self._memory()
+        memory.access(0, 64)
+        memory.access(10, 64)
+        assert memory.accesses == 2
+
+
+class TestDataTlb:
+    def test_first_touch_misses(self):
+        tlb = DataTlb(TlbConfig(entries=4, page_size=4096, miss_latency=30))
+        __, penalty = tlb.translate(0x1000)
+        assert penalty == 30
+        __, penalty = tlb.translate(0x1FFF)  # same page
+        assert penalty == 0
+
+    def test_identity_mapping(self):
+        tlb = DataTlb(TlbConfig())
+        physical, __ = tlb.translate(0x12345)
+        assert physical == 0x12345
+
+    def test_lru_replacement(self):
+        tlb = DataTlb(TlbConfig(entries=2, page_size=4096, miss_latency=30))
+        tlb.translate(0x0000)  # page 0
+        tlb.translate(0x1000)  # page 1
+        tlb.translate(0x0000)  # touch page 0 -> page 1 is LRU
+        tlb.translate(0x2000)  # page 2 evicts page 1
+        __, penalty = tlb.translate(0x0000)
+        assert penalty == 0
+        __, penalty = tlb.translate(0x1000)
+        assert penalty == 30
+
+    def test_same_page(self):
+        tlb = DataTlb(TlbConfig(page_size=4096))
+        assert tlb.same_page(0x1000, 0x1FFF)
+        assert not tlb.same_page(0x1000, 0x2000)
+
+    def test_miss_rate(self):
+        tlb = DataTlb(TlbConfig())
+        tlb.translate(0x1000)
+        tlb.translate(0x1008)
+        assert tlb.miss_rate == 0.5

@@ -1,0 +1,87 @@
+"""Unit tests for functional-unit pools."""
+
+from repro.config import CoreConfig
+from repro.cpu.funits import FunctionalUnits
+from repro.trace.record import InstrKind
+
+
+def _units():
+    units = FunctionalUnits(CoreConfig())
+    units.new_cycle(0)
+    return units
+
+
+class TestIssueSlots:
+    def test_alu_capacity_is_eight(self):
+        units = _units()
+        for __ in range(8):
+            assert units.can_issue(InstrKind.IALU)
+            units.issue(InstrKind.IALU)
+        assert not units.can_issue(InstrKind.IALU)
+
+    def test_load_store_capacity_is_four(self):
+        units = _units()
+        issued = 0
+        while units.can_issue(InstrKind.LOAD):
+            units.issue(InstrKind.LOAD)
+            issued += 1
+        assert issued == 4
+
+    def test_loads_and_stores_share_pool(self):
+        units = _units()
+        units.issue(InstrKind.LOAD)
+        units.issue(InstrKind.STORE)
+        units.issue(InstrKind.LOAD)
+        units.issue(InstrKind.STORE)
+        assert not units.can_issue(InstrKind.LOAD)
+
+    def test_new_cycle_resets_slots(self):
+        units = _units()
+        for __ in range(8):
+            units.issue(InstrKind.IALU)
+        units.new_cycle(1)
+        assert units.can_issue(InstrKind.IALU)
+
+    def test_pools_independent(self):
+        units = _units()
+        for __ in range(8):
+            units.issue(InstrKind.IALU)
+        assert units.can_issue(InstrKind.FADD)
+        assert units.can_issue(InstrKind.LOAD)
+
+
+class TestDividers:
+    def test_divider_blocks_for_full_latency(self):
+        units = _units()
+        units.issue(InstrKind.IDIV)
+        units.issue(InstrKind.IDIV)  # both int dividers busy
+        units.new_cycle(1)
+        assert not units.can_issue(InstrKind.IDIV)
+        units.new_cycle(11)
+        assert not units.can_issue(InstrKind.IDIV)
+        units.new_cycle(12)
+        assert units.can_issue(InstrKind.IDIV)
+
+    def test_multiplier_is_pipelined(self):
+        units = _units()
+        units.issue(InstrKind.IMUL)
+        units.issue(InstrKind.IMUL)
+        units.new_cycle(1)
+        assert units.can_issue(InstrKind.IMUL)
+
+    def test_divider_blocks_multiplier_unit_count_not_pipeline(self):
+        """A divider occupies one of the two shared mul/div units."""
+        units = _units()
+        units.issue(InstrKind.IDIV)
+        units.new_cycle(1)
+        # One unit still free this cycle.
+        assert units.can_issue(InstrKind.IDIV)
+        units.issue(InstrKind.IDIV)
+        units.new_cycle(2)
+        assert not units.can_issue(InstrKind.IDIV)
+
+    def test_latency_of(self):
+        units = _units()
+        assert units.latency_of(InstrKind.FDIV) == 12
+        assert units.latency_of(InstrKind.FADD) == 2
+        assert units.issue(InstrKind.FMUL) == 4

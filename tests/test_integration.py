@@ -1,0 +1,109 @@
+"""End-to-end integration tests: the paper's qualitative claims, small.
+
+These use short runs (seconds, not minutes); the full-size reproductions
+live in benchmarks/.
+"""
+
+import pytest
+
+from repro.config import (
+    AllocationPolicy,
+    DisambiguationPolicy,
+    SchedulingPolicy,
+)
+from repro.sim import baseline_config, psb_config, simulate, stride_config
+from repro.workloads import get_workload
+
+RUN = dict(max_instructions=40_000, warmup_instructions=15_000)
+
+
+@pytest.fixture(scope="module")
+def health_results():
+    base = simulate(baseline_config(), get_workload("health"), **RUN)
+    stride = simulate(stride_config(), get_workload("health"), **RUN)
+    psb = simulate(psb_config(), get_workload("health"), **RUN)
+    return base, stride, psb
+
+
+class TestPointerChasing:
+    def test_psb_beats_no_prefetching(self, health_results):
+        base, __, psb = health_results
+        assert psb.speedup_over(base) > 15.0
+
+    def test_psb_beats_stride_on_pointer_code(self, health_results):
+        """The paper's headline: PSB outruns PC-stride stream buffers on
+        pointer-intensive programs."""
+        base, stride, psb = health_results
+        assert psb.speedup_over(base) > stride.speedup_over(base) + 10.0
+
+    def test_prefetching_cuts_load_latency(self, health_results):
+        base, __, psb = health_results
+        assert psb.avg_load_latency < base.avg_load_latency
+
+    def test_prefetching_raises_bus_utilization(self, health_results):
+        base, __, psb = health_results
+        assert psb.l1_l2_bus_utilization > base.l1_l2_bus_utilization
+
+
+class TestStrideCode:
+    def test_stride_and_psb_comparable_on_fortran(self):
+        base = simulate(baseline_config(), get_workload("turb3d"), **RUN)
+        stride = simulate(stride_config(), get_workload("turb3d"), **RUN)
+        psb = simulate(psb_config(), get_workload("turb3d"), **RUN)
+        stride_gain = stride.speedup_over(base)
+        psb_gain = psb.speedup_over(base)
+        assert stride_gain > 5.0
+        assert abs(psb_gain - stride_gain) < 15.0
+
+
+class TestConfidenceOnSis:
+    def test_confidence_raises_accuracy_under_thrashing(self):
+        """Section 6: without confidence, sis thrashes and accuracy drops."""
+        two_miss = simulate(
+            psb_config(AllocationPolicy.TWO_MISS, SchedulingPolicy.ROUND_ROBIN),
+            get_workload("sis"), **RUN,
+        )
+        confident = simulate(
+            psb_config(AllocationPolicy.CONFIDENCE, SchedulingPolicy.PRIORITY),
+            get_workload("sis"), **RUN,
+        )
+        assert confident.prefetch_accuracy > 1.3 * two_miss.prefetch_accuracy
+
+    def test_confidence_cuts_wasted_bus_traffic(self):
+        two_miss = simulate(
+            psb_config(AllocationPolicy.TWO_MISS, SchedulingPolicy.ROUND_ROBIN),
+            get_workload("sis"), **RUN,
+        )
+        confident = simulate(
+            psb_config(AllocationPolicy.CONFIDENCE, SchedulingPolicy.PRIORITY),
+            get_workload("sis"), **RUN,
+        )
+        assert confident.l1_l2_bus_utilization < two_miss.l1_l2_bus_utilization
+
+
+class TestDisambiguation:
+    def test_perfect_store_sets_help_baseline(self):
+        perfect = simulate(baseline_config(), get_workload("deltablue"), **RUN)
+        nodis = simulate(
+            baseline_config().with_disambiguation(
+                DisambiguationPolicy.NO_DISAMBIGUATION
+            ),
+            get_workload("deltablue"), **RUN,
+        )
+        assert perfect.ipc >= nodis.ipc
+
+
+class TestCacheSizeInsensitivity:
+    def test_speedup_holds_across_l1_geometries(self):
+        """Figure 10: PSB speedup is roughly cache-size independent."""
+        gains = []
+        for size, ways in [(16 * 1024, 4), (32 * 1024, 4)]:
+            base = simulate(
+                baseline_config().with_l1(size, ways),
+                get_workload("health"), **RUN,
+            )
+            psb = simulate(
+                psb_config().with_l1(size, ways), get_workload("health"), **RUN
+            )
+            gains.append(psb.speedup_over(base))
+        assert all(gain > 10.0 for gain in gains)

@@ -1,0 +1,97 @@
+"""Tests for the Jouppi-FIFO vs. Farkas-associative lookup knob, and the
+non-overlapping-streams check (Section 3.3.2)."""
+
+from dataclasses import replace
+
+from repro.config import (
+    AllocationPolicy,
+    SchedulingPolicy,
+    SimConfig,
+    StreamBufferConfig,
+)
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim import psb_config
+from repro.sim.simulator import Simulator
+from repro.streambuf.controller import SequentialPredictor, StreamBufferController
+from repro.workloads import get_workload
+
+BLOCK = 32
+
+
+def _controller(**overrides):
+    config = StreamBufferConfig(
+        allocation=AllocationPolicy.ALWAYS,
+        scheduling=SchedulingPolicy.ROUND_ROBIN,
+        **overrides,
+    )
+    controller = StreamBufferController(config, SequentialPredictor(BLOCK), BLOCK)
+    controller.attach(MemoryHierarchy(SimConfig()))
+    return controller
+
+
+def _fill_stream(controller, base=0x8000, cycles=400):
+    controller.on_l1_miss(0x100, base, 0, sb_hit=False)
+    for cycle in range(1, cycles):
+        controller.tick(cycle)
+
+
+class TestFifoLookup:
+    def test_associative_matches_any_entry(self):
+        controller = _controller(associative_lookup=True)
+        _fill_stream(controller)
+        # The third block ahead is matchable even out of order.
+        assert controller.probe(0x8000 + 3 * BLOCK, 400) is not None
+
+    def test_fifo_matches_only_head(self):
+        controller = _controller(associative_lookup=False)
+        _fill_stream(controller)
+        assert controller.probe(0x8000 + 3 * BLOCK, 400) is None
+        assert controller.probe(0x8000 + 1 * BLOCK, 401) is not None
+
+    def test_fifo_in_order_consumption_works(self):
+        controller = _controller(associative_lookup=False)
+        _fill_stream(controller)
+        for i in range(1, 4):
+            assert controller.probe(0x8000 + i * BLOCK, 400 + i) is not None
+
+    def test_fifo_machine_still_speeds_up_sequential_code(self):
+        """End to end: FIFO lookup is sufficient for in-order streams but
+        must not beat the associative lookup."""
+        run = dict(max_instructions=20_000, warmup_instructions=8_000)
+        associative = Simulator(psb_config()).run(
+            get_workload("health"), **run
+        )
+        fifo_config = psb_config()
+        stream_buffers = replace(
+            fifo_config.prefetch.stream_buffers, associative_lookup=False
+        )
+        fifo_config = fifo_config.with_prefetcher(
+            replace(fifo_config.prefetch, stream_buffers=stream_buffers)
+        )
+        fifo = Simulator(fifo_config).run(get_workload("health"), **run)
+        assert fifo.ipc <= associative.ipc + 0.02
+
+
+class TestOverlapCheck:
+    def test_enabled_drops_duplicate_predictions(self):
+        controller = _controller(check_overlap=True)
+        controller.on_l1_miss(0x100, 0x8000, 0, sb_hit=False)
+        controller.on_l1_miss(0x200, 0x8000 + BLOCK, 0, sb_hit=False)
+        for cycle in range(1, 15):
+            controller.tick(cycle)
+        assert controller.duplicate_predictions >= 1
+
+    def test_disabled_allows_overlapping_streams(self):
+        controller = _controller(check_overlap=False)
+        controller.on_l1_miss(0x100, 0x8000, 0, sb_hit=False)
+        controller.on_l1_miss(0x200, 0x8000 + BLOCK, 0, sb_hit=False)
+        for cycle in range(1, 15):
+            controller.tick(cycle)
+        assert controller.duplicate_predictions == 0
+        blocks = [
+            entry.block
+            for buffer in controller.buffers
+            for entry in buffer.entries
+            if entry.occupied
+        ]
+        assert len(blocks) != len(set(blocks))  # duplicates exist

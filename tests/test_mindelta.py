@@ -1,0 +1,75 @@
+"""Unit tests for the Palacharla-Kessler minimum-delta predictor."""
+
+import pytest
+
+from repro.predictors.mindelta import MinimumDeltaPredictor
+
+
+class TestStrideDetection:
+    def test_detects_unit_stride_as_block_stride(self):
+        """Deltas smaller than the block size become one signed block."""
+        predictor = MinimumDeltaPredictor(block_size=32)
+        for i in range(6):
+            predictor.train(0x100, 0x10000 + i * 8)
+        assert predictor.region_stride(0x10000) == 32
+
+    def test_detects_negative_small_stride(self):
+        predictor = MinimumDeltaPredictor(block_size=32)
+        # Descend within one 4 KB region.
+        for i in range(6):
+            predictor.train(0x100, 0x10FF0 - i * 8)
+        assert predictor.region_stride(0x10FF0) == -32
+
+    def test_detects_large_stride_exactly(self):
+        predictor = MinimumDeltaPredictor(block_size=32)
+        for i in range(6):
+            predictor.train(0x100, 0x10000 + i * 256)
+        assert predictor.region_stride(0x10000) == 256
+
+    def test_minimum_over_history_window(self):
+        """Two interleaved streams in one region: the minimum delta wins
+        (the global-history weakness the paper contrasts with Farkas)."""
+        predictor = MinimumDeltaPredictor(block_size=32, region_bytes=65536)
+        for i in range(6):
+            predictor.train(0x100, 0x10000 + i * 512)
+            predictor.train(0x200, 0x10100 + i * 512)
+        # The min delta between the two interleaved streams is 256.
+        assert abs(predictor.region_stride(0x10000)) <= 512
+
+    def test_regions_are_independent(self):
+        predictor = MinimumDeltaPredictor(block_size=32, region_bytes=4096)
+        for i in range(4):
+            predictor.train(0x100, 0x10000 + i * 64)
+            predictor.train(0x200, 0x80000 + i * 512)
+        assert predictor.region_stride(0x10000) == 64
+        assert predictor.region_stride(0x80000) == 512
+
+
+class TestStreamInterface:
+    def test_stream_state_carries_region_stride(self):
+        predictor = MinimumDeltaPredictor(block_size=32)
+        for i in range(5):
+            predictor.train(0x100, 0x10000 + i * 128)
+        state = predictor.make_stream_state(0x100, 0x10200)
+        assert state.stride == 128
+        assert predictor.next_prediction(state) == 0x10200 + 128
+
+    def test_no_prediction_without_stride(self):
+        predictor = MinimumDeltaPredictor()
+        predictor.train(0x100, 0x10000)
+        state = predictor.make_stream_state(0x100, 0x10000)
+        assert predictor.next_prediction(state) is None
+
+    def test_always_allocation_ready(self):
+        assert MinimumDeltaPredictor().allocation_ready(0xABC)
+
+    def test_table_capacity_evicts_lru_region(self):
+        predictor = MinimumDeltaPredictor(region_bytes=4096, table_entries=2)
+        predictor.train(0, 0x1000)
+        predictor.train(0, 0x2000)
+        predictor.train(0, 0x3000)  # evicts region of 0x1000
+        assert predictor.region_stride(0x1000) == 0
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            MinimumDeltaPredictor(region_bytes=0)

@@ -1,0 +1,66 @@
+"""Unit tests for the MSHR file."""
+
+import pytest
+
+from repro.memory.mshr import MshrFile
+
+
+class TestMshr:
+    def test_lookup_absent(self):
+        assert MshrFile(4).lookup(0x100) is None
+
+    def test_allocate_and_lookup(self):
+        mshr = MshrFile(4)
+        mshr.allocate(0x100, ready_cycle=50)
+        assert mshr.lookup(0x100) == 50
+        assert len(mshr) == 1
+
+    def test_duplicate_allocation_rejected(self):
+        mshr = MshrFile(4)
+        mshr.allocate(0x100, 50)
+        with pytest.raises(ValueError):
+            mshr.allocate(0x100, 60)
+
+    def test_full(self):
+        mshr = MshrFile(2)
+        mshr.allocate(0x100, 10)
+        mshr.allocate(0x200, 20)
+        assert mshr.is_full()
+        with pytest.raises(ValueError):
+            mshr.allocate(0x300, 30)
+
+    def test_merge_counts(self):
+        mshr = MshrFile(4)
+        mshr.allocate(0x100, 50)
+        assert mshr.merge(0x100) == 50
+        assert mshr.merges == 1
+
+    def test_retire_ready(self):
+        mshr = MshrFile(4)
+        mshr.allocate(0x100, 10)
+        mshr.allocate(0x200, 20)
+        done = mshr.retire_ready(15)
+        assert done == [0x100]
+        assert mshr.lookup(0x100) is None
+        assert mshr.lookup(0x200) == 20
+
+    def test_earliest_ready(self):
+        mshr = MshrFile(4)
+        mshr.allocate(0x100, 30)
+        mshr.allocate(0x200, 20)
+        assert mshr.earliest_ready() == 20
+
+    def test_earliest_ready_empty_raises(self):
+        with pytest.raises(ValueError):
+            MshrFile(4).earliest_ready()
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            MshrFile(0)
+
+    def test_in_flight_blocks_is_copy(self):
+        mshr = MshrFile(4)
+        mshr.allocate(0x100, 10)
+        snapshot = mshr.in_flight_blocks()
+        snapshot.clear()
+        assert mshr.lookup(0x100) == 10

@@ -1,0 +1,98 @@
+"""Tests for every machine preset."""
+
+import pytest
+
+from repro.config import (
+    AllocationPolicy,
+    PrefetcherKind,
+    SchedulingPolicy,
+)
+from repro.sim.presets import (
+    PAPER_PREFETCH_LABELS,
+    baseline_config,
+    demand_markov_config,
+    min_delta_config,
+    next_line_config,
+    paper_configs,
+    prefetch_config,
+    psb_config,
+    sequential_config,
+    stride_config,
+)
+from repro.sim.simulator import Simulator
+from repro.workloads import get_workload
+
+ALL_PRESETS = {
+    "baseline": baseline_config,
+    "stride": stride_config,
+    "psb": psb_config,
+    "sequential": sequential_config,
+    "min-delta": min_delta_config,
+    "next-line": next_line_config,
+    "demand-markov": demand_markov_config,
+}
+
+
+class TestPresetShapes:
+    def test_paper_labels_stable(self):
+        assert PAPER_PREFETCH_LABELS == (
+            "Stride", "2Miss-RR", "2Miss-Priority",
+            "ConfAlloc-RR", "ConfAlloc-Priority",
+        )
+
+    def test_paper_configs_cross_product(self):
+        configs = paper_configs()
+        assert configs["2Miss-RR"].prefetch.stream_buffers.allocation == (
+            AllocationPolicy.TWO_MISS
+        )
+        assert configs["2Miss-Priority"].prefetch.stream_buffers.scheduling == (
+            SchedulingPolicy.PRIORITY
+        )
+        assert configs["ConfAlloc-RR"].prefetch.stream_buffers.allocation == (
+            AllocationPolicy.CONFIDENCE
+        )
+        for label in PAPER_PREFETCH_LABELS:
+            if label != "Stride":
+                assert configs[label].prefetch.kind == (
+                    PrefetcherKind.PREDICTOR_DIRECTED
+                )
+
+    def test_min_delta_uses_two_miss(self):
+        config = min_delta_config()
+        assert config.prefetch.kind == PrefetcherKind.MIN_DELTA
+        assert config.prefetch.stream_buffers.allocation == (
+            AllocationPolicy.TWO_MISS
+        )
+
+    def test_prefetch_config_builder(self):
+        config = prefetch_config(
+            PrefetcherKind.SEQUENTIAL,
+            AllocationPolicy.ALWAYS,
+            SchedulingPolicy.PRIORITY,
+        )
+        assert config.prefetch.kind == PrefetcherKind.SEQUENTIAL
+        assert config.prefetch.stream_buffers.scheduling == (
+            SchedulingPolicy.PRIORITY
+        )
+
+    def test_every_preset_shares_the_baseline_machine(self):
+        base = baseline_config()
+        for maker in ALL_PRESETS.values():
+            config = maker()
+            assert config.core == base.core
+            assert config.l1_data == base.l1_data
+            assert config.l2_unified == base.l2_unified
+
+
+@pytest.mark.parametrize("name", sorted(ALL_PRESETS))
+class TestPresetRuns:
+    def test_runs_and_reports(self, name):
+        simulator = Simulator(ALL_PRESETS[name]())
+        result = simulator.run(
+            get_workload("gs"), max_instructions=6000,
+            warmup_instructions=1500, label=name,
+        )
+        assert result.instructions == 4500
+        assert 0.0 < result.ipc < 8.0
+        if name == "baseline":
+            assert result.prefetches_issued == 0

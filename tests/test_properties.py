@@ -1,0 +1,166 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import BusConfig, CacheConfig
+from repro.memory.bus import Bus
+from repro.memory.cache import SetAssociativeCache
+from repro.predictors.markov import DifferentialMarkovTable
+from repro.predictors.saturating import SaturatingCounter
+from repro.predictors.stride import TwoDeltaStrideTable
+from repro.utils import block_address, fits_signed, min_bits_signed
+
+addresses = st.integers(min_value=0, max_value=(1 << 40) - 1)
+
+
+class TestUtilsProperties:
+    @given(addresses)
+    def test_block_address_idempotent(self, address):
+        once = block_address(address, 32)
+        assert block_address(once, 32) == once
+        assert once <= address < once + 32
+
+    @given(st.integers(min_value=-(1 << 34), max_value=1 << 34))
+    def test_min_bits_signed_is_minimal(self, value):
+        bits = min_bits_signed(value)
+        assert fits_signed(value, bits)
+        assert not fits_signed(value, bits - 1)
+
+
+class TestSaturatingProperties:
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.lists(st.sampled_from(["inc", "dec"]), max_size=60),
+    )
+    def test_counter_stays_in_range(self, maximum, operations):
+        counter = SaturatingCounter(maximum=maximum)
+        for operation in operations:
+            if operation == "inc":
+                counter.increment()
+            else:
+                counter.decrement()
+            assert 0 <= counter.value <= maximum
+
+
+class TestBusProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=500),
+                st.integers(min_value=1, max_value=128),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_reservations_never_overlap(self, requests):
+        bus = Bus(BusConfig(name="p", bytes_per_cycle=8))
+        intervals = []
+        for earliest, num_bytes in requests:
+            start = bus.acquire(earliest, num_bytes)
+            assert start >= earliest
+            intervals.append((start, start + bus.transfer_cycles(num_bytes)))
+        intervals.sort()
+        for (__, end_a), (start_b, __) in zip(intervals, intervals[1:]):
+            assert end_a <= start_b
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=500),
+                st.integers(min_value=1, max_value=128),
+            ),
+            max_size=30,
+        )
+    )
+    def test_busy_cycles_equal_sum_of_transfers(self, requests):
+        bus = Bus(BusConfig(name="p", bytes_per_cycle=8))
+        expected = 0
+        for earliest, num_bytes in requests:
+            bus.acquire(earliest, num_bytes)
+            expected += bus.transfer_cycles(num_bytes)
+        assert bus.busy_cycles == expected
+
+
+class TestCacheProperties:
+    @settings(max_examples=40)
+    @given(st.lists(addresses, max_size=200))
+    def test_occupancy_bounded_by_capacity(self, stream):
+        cache = SetAssociativeCache(
+            CacheConfig(
+                name="p", size_bytes=1024, associativity=2, block_size=32,
+                hit_latency=1,
+            )
+        )
+        for address in stream:
+            if not cache.access(address):
+                cache.insert(address)
+        assert cache.resident_blocks <= cache.config.num_blocks
+
+    @settings(max_examples=40)
+    @given(st.lists(addresses, min_size=1, max_size=100))
+    def test_hits_plus_misses_equal_accesses(self, stream):
+        cache = SetAssociativeCache(
+            CacheConfig(
+                name="p", size_bytes=1024, associativity=2, block_size=32,
+                hit_latency=1,
+            )
+        )
+        for address in stream:
+            if not cache.access(address):
+                cache.insert(address)
+        assert cache.hits + cache.misses == cache.accesses
+
+    @settings(max_examples=40)
+    @given(st.lists(addresses, min_size=1, max_size=100))
+    def test_repeat_access_always_hits(self, stream):
+        cache = SetAssociativeCache(
+            CacheConfig(
+                name="p", size_bytes=4096, associativity=4, block_size=32,
+                hit_latency=1,
+            )
+        )
+        for address in stream:
+            if not cache.access(address):
+                cache.insert(address)
+            assert cache.access(address)  # immediate re-access hits
+
+
+class TestPredictorProperties:
+    @settings(max_examples=30)
+    @given(st.lists(addresses, max_size=120), addresses)
+    def test_markov_lookup_never_crashes(self, trained, probe):
+        table = DifferentialMarkovTable()
+        previous = None
+        for address in trained:
+            if previous is not None:
+                table.train(previous, address)
+            previous = address
+        result = table.lookup(probe)
+        assert result is None or isinstance(result, int)
+
+    @settings(max_examples=30)
+    @given(
+        st.integers(min_value=0, max_value=1 << 20),
+        st.integers(min_value=-4096, max_value=4096),
+        st.integers(min_value=3, max_value=40),
+    )
+    def test_stride_table_locks_constant_stride(self, base, stride, count):
+        if stride == 0:
+            return
+        table = TwoDeltaStrideTable()
+        address = base
+        for __ in range(count):
+            table.train(0x500, address)
+            address += stride
+        entry = table.lookup(0x500)
+        assert entry.two_delta_stride == stride
+
+    @settings(max_examples=30)
+    @given(st.lists(addresses, min_size=2, max_size=100))
+    def test_confidence_in_range(self, stream):
+        table = TwoDeltaStrideTable()
+        for address in stream:
+            table.train(0x500, address)
+        assert 0 <= table.confidence_for(0x500) <= 7

@@ -1,0 +1,46 @@
+"""Unit tests for saturating counters."""
+
+import pytest
+
+from repro.predictors.saturating import SaturatingCounter
+
+
+class TestSaturatingCounter:
+    def test_increments_and_saturates(self):
+        counter = SaturatingCounter(maximum=7)
+        for __ in range(10):
+            counter.increment()
+        assert counter.value == 7
+
+    def test_decrements_and_floors(self):
+        counter = SaturatingCounter(maximum=7, initial=2)
+        for __ in range(5):
+            counter.decrement()
+        assert counter.value == 0
+
+    def test_amounts(self):
+        counter = SaturatingCounter(maximum=12)
+        counter.increment(5)
+        counter.decrement(2)
+        assert counter.value == 3
+
+    def test_set_clamps(self):
+        counter = SaturatingCounter(maximum=12)
+        counter.set(99)
+        assert counter.value == 12
+        counter.set(-5)
+        assert counter.value == 0
+
+    def test_at_least(self):
+        counter = SaturatingCounter(maximum=7, initial=3)
+        assert counter.at_least(3)
+        assert not counter.at_least(4)
+
+    def test_int_conversion(self):
+        assert int(SaturatingCounter(maximum=7, initial=5)) == 5
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(maximum=1, minimum=2)
+        with pytest.raises(ValueError):
+            SaturatingCounter(maximum=3, initial=9)

@@ -1,0 +1,92 @@
+"""Unit tests for stream-buffer schedulers (Section 4.4)."""
+
+from repro.config import SchedulingPolicy, StreamBufferConfig
+from repro.predictors.base import StreamState
+from repro.streambuf.buffer import StreamBuffer
+from repro.streambuf.scheduling import (
+    PriorityScheduler,
+    RoundRobinScheduler,
+    make_scheduler,
+)
+
+
+def _buffers(count=4):
+    buffers = [StreamBuffer(i, 4, priority_max=12) for i in range(count)]
+    for buffer in buffers:
+        buffer.allocate(StreamState(0x100 + buffer.index, 0), cycle=0)
+    return buffers
+
+
+def _always(buffer):
+    return True
+
+
+class TestRoundRobin:
+    def test_rotates_between_calls(self):
+        scheduler = RoundRobinScheduler()
+        buffers = _buffers()
+        picks = [
+            scheduler.pick_for_prediction(buffers, _always).index
+            for __ in range(6)
+        ]
+        assert picks == [0, 1, 2, 3, 0, 1]
+
+    def test_skips_ineligible(self):
+        scheduler = RoundRobinScheduler()
+        buffers = _buffers()
+        eligible = lambda buffer: buffer.index % 2 == 1
+        picks = [
+            scheduler.pick_for_prediction(buffers, eligible).index
+            for __ in range(4)
+        ]
+        assert picks == [1, 3, 1, 3]
+
+    def test_none_when_no_candidates(self):
+        scheduler = RoundRobinScheduler()
+        assert scheduler.pick_for_prediction(_buffers(), lambda b: False) is None
+
+    def test_independent_pointers(self):
+        scheduler = RoundRobinScheduler()
+        buffers = _buffers()
+        assert scheduler.pick_for_prediction(buffers, _always).index == 0
+        assert scheduler.pick_for_prefetch(buffers, _always).index == 0
+
+
+class TestPriority:
+    def test_highest_priority_wins(self):
+        scheduler = PriorityScheduler()
+        buffers = _buffers()
+        buffers[2].priority.set(9)
+        assert scheduler.pick_for_prediction(buffers, _always) is buffers[2]
+
+    def test_recency_breaks_ties(self):
+        scheduler = PriorityScheduler()
+        buffers = _buffers(2)
+        for buffer in buffers:
+            buffer.priority.set(5)
+        buffers[0].last_use_cycle = 10
+        buffers[1].last_use_cycle = 90
+        assert scheduler.pick_for_prefetch(buffers, _always) is buffers[1]
+
+    def test_respects_eligibility(self):
+        scheduler = PriorityScheduler()
+        buffers = _buffers()
+        buffers[0].priority.set(12)
+        eligible = lambda buffer: buffer.index != 0
+        assert scheduler.pick_for_prediction(buffers, eligible) is not buffers[0]
+
+    def test_none_when_empty(self):
+        scheduler = PriorityScheduler()
+        assert scheduler.pick_for_prefetch(_buffers(), lambda b: False) is None
+
+
+class TestFactory:
+    def test_builds_each_policy(self):
+        rr = make_scheduler(
+            StreamBufferConfig(scheduling=SchedulingPolicy.ROUND_ROBIN)
+        )
+        pri = make_scheduler(
+            StreamBufferConfig(scheduling=SchedulingPolicy.PRIORITY)
+        )
+        assert isinstance(rr, RoundRobinScheduler)
+        assert isinstance(pri, PriorityScheduler)

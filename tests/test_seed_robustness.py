@@ -1,0 +1,23 @@
+"""The headline shapes must hold across workload seeds, not just seed 1."""
+
+import pytest
+
+from repro.sim import baseline_config, psb_config, simulate, stride_config
+from repro.workloads import get_workload
+
+RUN = dict(max_instructions=40_000, warmup_instructions=15_000)
+
+
+@pytest.mark.parametrize("seed", [2, 5])
+class TestSeedRobustness:
+    def test_psb_beats_stride_on_health(self, seed):
+        base = simulate(baseline_config(), get_workload("health", seed=seed), **RUN)
+        stride = simulate(stride_config(), get_workload("health", seed=seed), **RUN)
+        psb = simulate(psb_config(), get_workload("health", seed=seed), **RUN)
+        assert psb.speedup_over(base) > stride.speedup_over(base) + 10.0
+
+    def test_stride_and_psb_comparable_on_turb3d(self, seed):
+        base = simulate(baseline_config(), get_workload("turb3d", seed=seed), **RUN)
+        stride = simulate(stride_config(), get_workload("turb3d", seed=seed), **RUN)
+        psb = simulate(psb_config(), get_workload("turb3d", seed=seed), **RUN)
+        assert abs(psb.speedup_over(base) - stride.speedup_over(base)) < 15.0

@@ -1,0 +1,111 @@
+"""Unit tests for the Stride-Filtered Markov predictor (Section 4.2)."""
+
+from repro.predictors.sfm import StrideFilteredMarkovPredictor
+
+
+def _train_sequence(sfm, pc, addresses):
+    return [sfm.train(pc, address) for address in addresses]
+
+
+class TestFiltering:
+    def test_stride_covered_misses_stay_out_of_markov(self):
+        sfm = StrideFilteredMarkovPredictor()
+        _train_sequence(sfm, 0x100, [i * 32 for i in range(10)])
+        # Every transition was stride-covered, so the Markov table should
+        # hold (almost) nothing: the filter worked.
+        assert sfm.markov_table.trains <= 1
+
+    def test_irregular_misses_train_markov(self):
+        sfm = StrideFilteredMarkovPredictor()
+        _train_sequence(sfm, 0x100, [0, 5000, 320, 7000])
+        assert sfm.markov_table.trains >= 2
+
+    def test_markov_learns_pointer_chain(self):
+        sfm = StrideFilteredMarkovPredictor()
+        chain = [0, 960, 320, 1280, 640]
+        for __ in range(3):
+            _train_sequence(sfm, 0x100, chain)
+        # After training, the chain transitions are predictable.
+        assert sfm.markov_table.lookup(960) == 320
+        assert sfm.markov_table.lookup(320) == 1280
+
+
+class TestConfidence:
+    def test_repeating_chain_builds_confidence(self):
+        sfm = StrideFilteredMarkovPredictor()
+        chain = [0, 960, 320, 1280, 640]
+        for __ in range(4):
+            _train_sequence(sfm, 0x100, chain)
+        assert sfm.confidence_for(0x100) >= 3
+
+    def test_random_addresses_keep_zero_confidence(self):
+        import random
+
+        rng = random.Random(7)
+        sfm = StrideFilteredMarkovPredictor()
+        for __ in range(60):
+            sfm.train(0x100, rng.randrange(0, 1 << 30) & ~31)
+        assert sfm.confidence_for(0x100) <= 1
+
+    def test_correct_when_either_component_matches(self):
+        sfm = StrideFilteredMarkovPredictor()
+        # Build a stable stride so the stride component predicts.
+        results = _train_sequence(sfm, 0x100, [i * 64 for i in range(6)])
+        assert results[-1]  # later trains predicted correctly
+
+
+class TestStreamPrediction:
+    def test_markov_hit_wins_over_stride(self):
+        sfm = StrideFilteredMarkovPredictor()
+        chain = [0, 960, 320, 1280, 640]
+        for __ in range(3):
+            _train_sequence(sfm, 0x100, chain)
+        state = sfm.make_stream_state(0x100, 960)
+        assert sfm.next_prediction(state) == 320
+        assert sfm.next_prediction(state) == 1280
+
+    def test_stride_fallback_on_markov_miss(self):
+        sfm = StrideFilteredMarkovPredictor()
+        _train_sequence(sfm, 0x100, [i * 32 for i in range(6)])
+        state = sfm.make_stream_state(0x100, 1_000_000)
+        assert state.stride == 32
+        assert sfm.next_prediction(state) == 1_000_032
+
+    def test_no_prediction_without_information(self):
+        sfm = StrideFilteredMarkovPredictor()
+        sfm.train(0x100, 0x5000)
+        state = sfm.make_stream_state(0x100, 0x5000)
+        assert sfm.next_prediction(state) is None
+
+    def test_prediction_does_not_touch_tables(self):
+        """The key PSB property: generating predictions must not modify
+        the shared tables (Section 4.1)."""
+        sfm = StrideFilteredMarkovPredictor()
+        chain = [0, 960, 320, 1280, 640]
+        for __ in range(3):
+            _train_sequence(sfm, 0x100, chain)
+        trains_before = sfm.markov_table.trains
+        state = sfm.make_stream_state(0x100, 0)
+        for __ in range(10):
+            sfm.next_prediction(state)
+        assert sfm.markov_table.trains == trains_before
+
+    def test_speculative_state_advances(self):
+        sfm = StrideFilteredMarkovPredictor()
+        chain = [0, 960, 320, 1280, 640]
+        for __ in range(3):
+            _train_sequence(sfm, 0x100, chain)
+        state = sfm.make_stream_state(0x100, 0)
+        sfm.next_prediction(state)
+        assert state.last_address == 960
+
+
+class TestTwoMissReadiness:
+    def test_needs_two_consecutive_correct(self):
+        sfm = StrideFilteredMarkovPredictor()
+        chain = [0, 960, 320, 1280, 640]
+        _train_sequence(sfm, 0x100, chain)
+        assert not sfm.allocation_ready(0x100)
+        _train_sequence(sfm, 0x100, chain)
+        _train_sequence(sfm, 0x100, chain)
+        assert sfm.allocation_ready(0x100)

@@ -1,0 +1,78 @@
+"""Whole-machine fuzzing: random traces through the full simulator.
+
+Whatever the trace, a simulation must terminate, retire everything it
+fetched, and produce self-consistent statistics under every prefetcher.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import PrefetcherKind
+from repro.sim import baseline_config, psb_config, simulate, stride_config
+from repro.sim.presets import demand_markov_config, next_line_config
+from repro.trace.record import InstrKind, TraceRecord
+
+_kinds = st.sampled_from(list(InstrKind))
+
+
+@st.composite
+def _records(draw):
+    kind = draw(_kinds)
+    pc = draw(st.integers(min_value=0, max_value=63)) * 4 + 0x1000
+    addr = 0
+    taken = False
+    if kind in (InstrKind.LOAD, InstrKind.STORE):
+        addr = draw(st.integers(min_value=0, max_value=4095)) * 32 + 0x10000
+    if kind == InstrKind.BRANCH:
+        taken = draw(st.booleans())
+    dep1 = draw(st.integers(min_value=0, max_value=20))
+    dep2 = draw(st.integers(min_value=0, max_value=20))
+    return TraceRecord(kind, pc, addr=addr, taken=taken, dep1=dep1, dep2=dep2)
+
+
+_traces = st.lists(_records(), min_size=0, max_size=400)
+
+_configs = st.sampled_from(
+    ["base", "stride", "psb", "next-line", "demand-markov"]
+)
+
+
+def _config_of(name):
+    return {
+        "base": baseline_config,
+        "stride": stride_config,
+        "psb": psb_config,
+        "next-line": next_line_config,
+        "demand-markov": demand_markov_config,
+    }[name]()
+
+
+class TestSimulatorFuzz:
+    @settings(max_examples=30, deadline=None)
+    @given(trace=_traces, config_name=_configs)
+    def test_any_trace_terminates_with_sane_stats(self, trace, config_name):
+        result = simulate(_config_of(config_name), iter(trace))
+        assert result.instructions == len(trace)
+        assert result.cycles >= 1
+        assert 0.0 <= result.ipc <= 8.0
+        assert 0.0 <= result.l1_miss_rate <= 1.0
+        assert 0.0 <= result.prefetch_accuracy <= 1.0
+        assert 0.0 <= result.l1_l2_bus_utilization <= 1.0
+        assert result.prefetches_used <= result.prefetches_issued + 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(trace=_traces)
+    def test_simulation_is_deterministic(self, trace):
+        first = simulate(psb_config(), iter(trace))
+        second = simulate(psb_config(), iter(trace))
+        assert first.cycles == second.cycles
+        assert first.ipc == second.ipc
+        assert first.prefetches_issued == second.prefetches_issued
+
+    @settings(max_examples=15, deadline=None)
+    @given(trace=_traces)
+    def test_prefetching_never_breaks_execution(self, trace):
+        """Prefetchers change timing, never the amount of retired work."""
+        base = simulate(baseline_config(), iter(trace))
+        psb = simulate(psb_config(), iter(trace))
+        assert base.instructions == psb.instructions

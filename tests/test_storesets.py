@@ -1,0 +1,75 @@
+"""Unit tests for load/store disambiguation policies (Section 6.1)."""
+
+from repro.config import DisambiguationPolicy
+from repro.cpu.storesets import StoreTracker, word_of
+
+
+class TestWordOf:
+    def test_aligns_to_eight_bytes(self):
+        assert word_of(0x1007) == 0x1000
+        assert word_of(0x1008) == 0x1008
+
+
+class TestPerfectStoreSets:
+    def _tracker(self):
+        return StoreTracker(DisambiguationPolicy.PERFECT_STORE_SETS)
+
+    def test_independent_load_has_no_dependence(self):
+        tracker = self._tracker()
+        tracker.note_store_dispatched(1, 0x1000)
+        assert tracker.dependence_for_load(0x2000) is None
+
+    def test_same_word_load_depends_and_forwards(self):
+        tracker = self._tracker()
+        tracker.note_store_dispatched(1, 0x1000)
+        assert tracker.dependence_for_load(0x1004) == 1
+        assert tracker.forwards(0x1004) == 1
+        assert tracker.forwarded_loads == 1
+
+    def test_youngest_store_wins(self):
+        tracker = self._tracker()
+        tracker.note_store_dispatched(1, 0x1000)
+        tracker.note_store_dispatched(5, 0x1000)
+        assert tracker.dependence_for_load(0x1000) == 5
+
+    def test_retired_store_forgotten(self):
+        tracker = self._tracker()
+        tracker.note_store_dispatched(1, 0x1000)
+        tracker.note_store_retired(1, 0x1000)
+        assert tracker.dependence_for_load(0x1000) is None
+
+    def test_retire_does_not_forget_younger_store(self):
+        tracker = self._tracker()
+        tracker.note_store_dispatched(1, 0x1000)
+        tracker.note_store_dispatched(5, 0x1000)
+        tracker.note_store_retired(1, 0x1000)
+        assert tracker.dependence_for_load(0x1000) == 5
+
+
+class TestNoDisambiguation:
+    def _tracker(self):
+        return StoreTracker(DisambiguationPolicy.NO_DISAMBIGUATION)
+
+    def test_every_load_waits_for_last_store(self):
+        tracker = self._tracker()
+        tracker.note_store_dispatched(3, 0x1000)
+        assert tracker.dependence_for_load(0x999000) == 3
+        assert tracker.serialized_loads == 1
+
+    def test_no_store_in_flight(self):
+        tracker = self._tracker()
+        assert tracker.dependence_for_load(0x1000) is None
+
+    def test_previous_store_chains(self):
+        tracker = self._tracker()
+        tracker.note_store_dispatched(3, 0x1000)
+        assert tracker.previous_store() == 3
+        tracker.note_store_dispatched(7, 0x2000)
+        assert tracker.previous_store() == 7
+
+    def test_reset_stats(self):
+        tracker = self._tracker()
+        tracker.note_store_dispatched(3, 0x1000)
+        tracker.dependence_for_load(0x5000)
+        tracker.reset_stats()
+        assert tracker.serialized_loads == 0

@@ -1,0 +1,68 @@
+"""Tests for the markdown comparison report."""
+
+import pytest
+
+from repro.analysis.summary import comparison_report
+from repro.cli import main
+from repro.sim import baseline_config, psb_config, simulate
+from repro.workloads import get_workload
+
+RUN = dict(max_instructions=5000, warmup_instructions=1000)
+
+
+def _results():
+    return {
+        "Base": simulate(
+            baseline_config(), get_workload("health"), label="Base", **RUN
+        ),
+        "PSB": simulate(
+            psb_config(), get_workload("health"), label="PSB", **RUN
+        ),
+    }
+
+
+class TestComparisonReport:
+    def test_contains_sections_and_machines(self):
+        document = comparison_report("health", _results())
+        assert "# Simulation report: health" in document
+        assert "## Performance" in document
+        assert "## Prefetching" in document
+        assert "## Bus pressure" in document
+        assert "| Base |" in document
+        assert "| PSB |" in document
+
+    def test_baseline_speedup_is_dash(self):
+        document = comparison_report("health", _results())
+        base_row = next(
+            line for line in document.splitlines() if line.startswith("| Base |")
+        )
+        assert "| - |" in base_row
+
+    def test_missing_baseline_raises(self):
+        results = _results()
+        del results["Base"]
+        with pytest.raises(ValueError):
+            comparison_report("health", results)
+
+    def test_no_prefetchers_case(self):
+        results = {"Base": _results()["Base"]}
+        document = comparison_report("health", results)
+        assert "No prefetchers in this comparison." in document
+
+    def test_custom_title(self):
+        document = comparison_report("health", _results(), title="# My run")
+        assert document.splitlines()[0] == "# My run"
+
+
+class TestReportCommand:
+    def test_writes_markdown_file(self, tmp_path, capsys):
+        path = str(tmp_path / "report.md")
+        code = main(
+            ["report", "turb3d", "--out", path,
+             "--instructions", "4000", "--warmup", "1000"]
+        )
+        assert code == 0
+        with open(path) as handle:
+            document = handle.read()
+        assert "# Simulation report: turb3d" in document
+        assert "ConfAlloc-Priority" in document

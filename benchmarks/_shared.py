@@ -14,16 +14,34 @@ records the paper-vs-measured comparison.
 from __future__ import annotations
 
 import os
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.config import SimConfig
-from repro.sim import SimulationResult, baseline_config, paper_configs, simulate
-from repro.workloads import get_workload, workload_names
+from repro.runner import CampaignRunner, RunSpec, WorkloadSpec
+from repro.sim import SimulationResult, baseline_config, paper_configs
+from repro.workloads import workload_names
 
 #: Instructions simulated per run (after warm-up) and warm-up length.
 MAX_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", 60_000))
 WARMUP_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_WARMUP", 25_000))
 SEED = int(os.environ.get("REPRO_BENCH_SEED", 1))
+
+#: Resilience policy for benchmark runs.  Defaults preserve the classic
+#: behaviour (inline, fail-fast, no timeout); long unattended campaigns
+#: can opt into isolation and retries without touching the benchmarks.
+TIMEOUT: Optional[float] = (
+    float(os.environ["REPRO_BENCH_TIMEOUT"])
+    if os.environ.get("REPRO_BENCH_TIMEOUT")
+    else None
+)
+RETRIES = int(os.environ.get("REPRO_BENCH_RETRIES", 0))
+ISOLATION = os.environ.get(
+    "REPRO_BENCH_ISOLATION", "process" if TIMEOUT is not None else "inline"
+)
+
+_runner = CampaignRunner(
+    timeout=TIMEOUT, retries=RETRIES, isolation=ISOLATION, on_error="fail"
+)
 
 #: Pointer-intensive benchmarks (the paper's averages exclude turb3d).
 POINTER_PROGRAMS = ("health", "burg", "deltablue", "gs", "sis")
@@ -43,17 +61,7 @@ def configs_by_label() -> Dict[str, SimConfig]:
 
 def run(workload: str, label: str) -> SimulationResult:
     """One cached simulation of ``workload`` under configuration ``label``."""
-    key = (workload, label)
-    if key not in _cache:
-        config = configs_by_label()[label]
-        _cache[key] = simulate(
-            config,
-            get_workload(workload, seed=SEED),
-            max_instructions=MAX_INSTRUCTIONS,
-            warmup_instructions=WARMUP_INSTRUCTIONS,
-            label=f"{workload}/{label}",
-        )
-    return _cache[key]
+    return run_custom(workload, label, configs_by_label()[label])
 
 
 def run_matrix() -> Dict[Tuple[str, str], SimulationResult]:
@@ -68,13 +76,14 @@ def run_custom(workload: str, label: str, config: SimConfig) -> SimulationResult
     """A cached run under an ad-hoc configuration (sweeps)."""
     key = (workload, label)
     if key not in _cache:
-        _cache[key] = simulate(
-            config,
-            get_workload(workload, seed=SEED),
+        spec = RunSpec(
+            run_id=f"{workload}/{label}",
+            config=config,
+            trace=WorkloadSpec(workload, seed=SEED),
             max_instructions=MAX_INSTRUCTIONS,
             warmup_instructions=WARMUP_INSTRUCTIONS,
-            label=f"{workload}/{label}",
         )
+        _cache[key] = _runner.run_one(spec)
     return _cache[key]
 
 

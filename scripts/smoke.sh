@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Smoke check: tier-1 tests plus one tiny end-to-end fault-injected
+# campaign (crash + hang + checkpointed resume) through the real CLI
+# entry points.  Exits non-zero on the first problem.
+#
+# Usage: scripts/smoke.sh [extra pytest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests (slow campaign tests excluded) =="
+python -m pytest -x -q -m "not slow" "$@"
+
+echo
+echo "== end-to-end campaign with fault injection =="
+campaign_dir="$(mktemp -d)"
+trap 'rm -rf "$campaign_dir"' EXIT
+
+python examples/resilient_campaign.py \
+    --instructions 2000 --campaign-dir "$campaign_dir"
+echo
+echo "== resume from checkpoint =="
+python examples/resilient_campaign.py \
+    --instructions 2000 --campaign-dir "$campaign_dir" --resume
+
+python - "$campaign_dir" <<'EOF'
+import json, os, sys
+manifest = json.load(open(os.path.join(sys.argv[1], "manifest.json")))
+assert manifest["status"] == "complete", manifest
+assert manifest["ok"] == 3, manifest
+assert manifest["failed"] == 2, manifest
+assert manifest["resumed_from_checkpoint"] == 5, manifest
+kinds = sorted(f["kind"] for f in manifest["failures"])
+assert kinds == ["RunTimeoutError", "SimulationError"], kinds
+print("smoke: campaign manifest checks passed")
+EOF
+
+echo
+echo "smoke: OK"

@@ -21,6 +21,13 @@ Quickstart::
     print(f"speedup: {psb.speedup_over(base):.1f}%")
 """
 
+from repro.errors import (
+    ConfigError,
+    ReproError,
+    RunTimeoutError,
+    SimulationError,
+    TraceFormatError,
+)
 from repro.config import (
     AllocationPolicy,
     BusConfig,
@@ -52,6 +59,11 @@ from repro.workloads import get_workload, get_workload_generator, workload_names
 __version__ = "1.0.0"
 
 __all__ = [
+    "ReproError",
+    "ConfigError",
+    "TraceFormatError",
+    "SimulationError",
+    "RunTimeoutError",
     "AllocationPolicy",
     "BusConfig",
     "CacheConfig",

@@ -6,6 +6,10 @@ Usage (also available as ``python -m repro``)::
     repro-sim run health --machine psb --instructions 50000
     repro-sim compare health --instructions 50000
     repro-sim trace burg --out burg.trace --instructions 20000
+    repro-sim sweep health --campaign-dir camp --timeout 120 --retries 1
+
+Exit status: 0 on success, 1 on any :class:`~repro.errors.ReproError`
+(printed as a one-line message, never a traceback), 130 on Ctrl-C.
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.analysis.report import ascii_table
 from repro.config import SimConfig
+from repro.errors import ConfigError, ReproError
 from repro.sim import baseline_config, paper_configs, simulate
 from repro.sim.presets import (
     demand_markov_config,
@@ -76,6 +81,49 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_run_arguments(report)
     report.add_argument("--out", required=True, help="output markdown path")
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="run a resilient multi-machine campaign on one workload",
+        description=(
+            "Run several machines over one workload through the campaign "
+            "runner: each point is process-isolated, timed out, retried "
+            "with backoff, and checkpointed so an interrupted campaign "
+            "resumes where it left off."
+        ),
+    )
+    _add_run_arguments(sweep)
+    sweep.add_argument(
+        "--machines", default="all",
+        help="comma-separated machine names, or 'all' (default)",
+    )
+    sweep.add_argument(
+        "--campaign-dir", default=None,
+        help="directory for checkpoint.jsonl and manifest.json "
+             "(omit to run without checkpointing)",
+    )
+    sweep.add_argument(
+        "--timeout", type=float, default=None,
+        help="wall-clock seconds per attempt (default: unlimited)",
+    )
+    sweep.add_argument(
+        "--retries", type=int, default=0,
+        help="retries per point for retryable failures (default: 0)",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="skip points already recorded in the campaign checkpoint",
+    )
+    sweep.add_argument(
+        "--on-error", choices=("skip", "fail"), default="skip",
+        help="skip-and-record failed points (default) or fail fast",
+    )
+    sweep.add_argument(
+        "--no-isolate", action="store_true",
+        help="run points in-process instead of per-run subprocesses "
+             "(faster, but a crash aborts the campaign and --timeout "
+             "is unavailable)",
+    )
     return parser
 
 
@@ -198,8 +246,85 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.runner import CampaignRunner, RunSpec, WorkloadSpec
+
+    if args.machines == "all":
+        machines = sorted(MACHINES)
+    else:
+        machines = [name.strip() for name in args.machines.split(",") if name.strip()]
+        unknown = [name for name in machines if name not in MACHINES]
+        if unknown:
+            raise ConfigError(
+                f"unknown machine(s) {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(MACHINES))}",
+                field="sweep.machines",
+            )
+    if not machines:
+        raise ConfigError("no machines selected", field="sweep.machines")
+
+    specs = [
+        RunSpec(
+            run_id=f"{args.workload}/{name}",
+            config=MACHINES[name](),
+            trace=WorkloadSpec(args.workload, seed=args.seed),
+            max_instructions=args.instructions,
+            warmup_instructions=_warmup_of(args),
+        )
+        for name in machines
+    ]
+    runner = CampaignRunner(
+        args.campaign_dir,
+        timeout=args.timeout,
+        retries=args.retries,
+        on_error=args.on_error,
+        isolation="inline" if args.no_isolate else "process",
+        resume=args.resume,
+    )
+    campaign = runner.run(specs)
+
+    rows = []
+    for spec in specs:
+        outcome = campaign.outcomes.get(spec.run_id)
+        if outcome is None:
+            continue
+        machine = spec.run_id.split("/", 1)[1]
+        if outcome.ok:
+            result = outcome.result
+            rows.append(
+                [
+                    machine,
+                    "ok" + (" (resumed)" if outcome.resumed else ""),
+                    f"{result.ipc:.3f}",
+                    f"{result.prefetch_accuracy * 100:.0f}%",
+                    str(outcome.attempts),
+                ]
+            )
+        else:
+            rows.append(
+                [
+                    machine,
+                    f"FAILED: {outcome.error_kind}",
+                    "-",
+                    "-",
+                    str(outcome.attempts),
+                ]
+            )
+    print(
+        ascii_table(
+            ["machine", "status", "IPC", "accuracy", "attempts"],
+            rows,
+            title=f"campaign: '{args.workload}'",
+        )
+    )
+    for outcome in campaign.failures.values():
+        print(f"  {outcome.run_id}: {outcome.error_message}")
+    if args.campaign_dir:
+        print(f"campaign state in {args.campaign_dir}")
+    return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "workloads":
         return _command_workloads()
     if args.command == "run":
@@ -210,7 +335,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_trace(args)
     if args.command == "report":
         return _command_report(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as error:
+        print(f"repro-sim: error: {error}", file=sys.stderr)
+        return error.exit_code
+    except KeyboardInterrupt:
+        print("repro-sim: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

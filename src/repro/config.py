@@ -12,7 +12,15 @@ from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Optional
 
+from repro.errors import ConfigError
 from repro.utils import is_power_of_two
+
+
+def _require(condition: bool, owner: str, field_name: str, message: str) -> None:
+    """Raise a field-labelled :class:`ConfigError` unless ``condition``."""
+    if not condition:
+        qualified = f"{owner}.{field_name}"
+        raise ConfigError(f"{qualified}: {message}", field=qualified)
 
 
 class DisambiguationPolicy(Enum):
@@ -66,12 +74,24 @@ class CacheConfig:
     mshr_entries: int = 16
 
     def __post_init__(self) -> None:
-        if not is_power_of_two(self.block_size):
-            raise ValueError(f"{self.name}: block size must be a power of two")
-        if self.size_bytes % (self.block_size * self.associativity) != 0:
-            raise ValueError(f"{self.name}: size not divisible into sets")
-        if self.num_sets < 1:
-            raise ValueError(f"{self.name}: fewer than one set")
+        owner = f"CacheConfig({self.name})"
+        _require(self.size_bytes > 0, owner, "size_bytes", "must be positive")
+        _require(
+            self.associativity > 0, owner, "associativity", "must be positive"
+        )
+        _require(self.hit_latency >= 0, owner, "hit_latency", "must be >= 0")
+        _require(
+            self.mshr_entries > 0, owner, "mshr_entries", "must be positive"
+        )
+        _require(
+            self.block_size > 0 and is_power_of_two(self.block_size),
+            owner, "block_size", "must be a power of two",
+        )
+        _require(
+            self.size_bytes % (self.block_size * self.associativity) == 0,
+            owner, "size_bytes", "not divisible into sets",
+        )
+        _require(self.num_sets >= 1, owner, "size_bytes", "fewer than one set")
 
     @property
     def num_sets(self) -> int:
@@ -89,6 +109,12 @@ class BusConfig:
     name: str
     bytes_per_cycle: int
 
+    def __post_init__(self) -> None:
+        _require(
+            self.bytes_per_cycle > 0,
+            f"BusConfig({self.name})", "bytes_per_cycle", "must be positive",
+        )
+
     def transfer_cycles(self, num_bytes: int) -> int:
         """Cycles the bus stays busy moving ``num_bytes``."""
         return max(1, -(-num_bytes // self.bytes_per_cycle))
@@ -100,6 +126,12 @@ class MemoryConfig:
 
     access_latency: int = 120
 
+    def __post_init__(self) -> None:
+        _require(
+            self.access_latency >= 0,
+            "MemoryConfig", "access_latency", "must be >= 0",
+        )
+
 
 @dataclass(frozen=True)
 class TlbConfig:
@@ -108,6 +140,16 @@ class TlbConfig:
     entries: int = 128
     page_size: int = 4096
     miss_latency: int = 30
+
+    def __post_init__(self) -> None:
+        _require(self.entries > 0, "TlbConfig", "entries", "must be positive")
+        _require(
+            self.page_size > 0 and is_power_of_two(self.page_size),
+            "TlbConfig", "page_size", "must be a power of two",
+        )
+        _require(
+            self.miss_latency >= 0, "TlbConfig", "miss_latency", "must be >= 0"
+        )
 
 
 @dataclass(frozen=True)
@@ -131,6 +173,26 @@ class CoreConfig:
     int_mul_div_units: int = 2
     fp_mul_div_units: int = 2
 
+    def __post_init__(self) -> None:
+        positive = (
+            "fetch_width", "decode_width", "issue_width", "retire_width",
+            "rob_entries", "lsq_entries", "branch_predictions_per_cycle",
+            "int_alu_units", "load_store_units", "fp_add_units",
+            "int_mul_div_units", "fp_mul_div_units",
+        )
+        for name in positive:
+            _require(
+                getattr(self, name) > 0, "CoreConfig", name, "must be positive"
+            )
+        _require(
+            self.mispredict_penalty >= 0,
+            "CoreConfig", "mispredict_penalty", "must be >= 0",
+        )
+        _require(
+            self.gshare_history_bits > 0,
+            "CoreConfig", "gshare_history_bits", "must be positive",
+        )
+
 
 @dataclass(frozen=True)
 class StridePredictorConfig:
@@ -141,6 +203,22 @@ class StridePredictorConfig:
     confidence_max: int = 7
     confidence_initial: int = 0
 
+    def __post_init__(self) -> None:
+        owner = "StridePredictorConfig"
+        _require(self.entries > 0, owner, "entries", "must be positive")
+        _require(
+            self.associativity > 0, owner, "associativity", "must be positive"
+        )
+        _require(
+            self.confidence_max > 0, owner, "confidence_max",
+            "must be positive",
+        )
+        _require(
+            0 <= self.confidence_initial <= self.confidence_max,
+            owner, "confidence_initial",
+            f"must be within [0, confidence_max={self.confidence_max}]",
+        )
+
 
 @dataclass(frozen=True)
 class MarkovPredictorConfig:
@@ -150,6 +228,14 @@ class MarkovPredictorConfig:
     delta_bits: int = 16
     differential: bool = True
     associativity: int = 4
+
+    def __post_init__(self) -> None:
+        owner = "MarkovPredictorConfig"
+        _require(self.entries > 0, owner, "entries", "must be positive")
+        _require(self.delta_bits > 0, owner, "delta_bits", "must be positive")
+        _require(
+            self.associativity > 0, owner, "associativity", "must be positive"
+        )
 
 
 @dataclass(frozen=True)
@@ -177,6 +263,25 @@ class StreamBufferConfig:
     #: prefetched twice (an ablation knob).
     check_overlap: bool = True
 
+    def __post_init__(self) -> None:
+        owner = "StreamBufferConfig"
+        _require(self.num_buffers > 0, owner, "num_buffers", "must be positive")
+        _require(
+            self.entries_per_buffer > 0,
+            owner, "entries_per_buffer", "must be positive",
+        )
+        _require(
+            self.confidence_threshold >= 0,
+            owner, "confidence_threshold", "must be >= 0",
+        )
+        _require(
+            self.priority_max > 0, owner, "priority_max", "must be positive"
+        )
+        _require(
+            self.priority_age_period > 0,
+            owner, "priority_age_period", "must be positive",
+        )
+
 
 @dataclass(frozen=True)
 class PrefetchConfig:
@@ -186,6 +291,17 @@ class PrefetchConfig:
     stream_buffers: StreamBufferConfig = field(default_factory=StreamBufferConfig)
     stride: StridePredictorConfig = field(default_factory=StridePredictorConfig)
     markov: MarkovPredictorConfig = field(default_factory=MarkovPredictorConfig)
+
+    def __post_init__(self) -> None:
+        # The allocation filter compares stream-buffer confidence against
+        # the stride predictor's saturating counter, so the threshold must
+        # lie inside that counter's range to ever admit or deny anything.
+        _require(
+            self.stream_buffers.confidence_threshold
+            <= self.stride.confidence_max,
+            "PrefetchConfig", "stream_buffers.confidence_threshold",
+            f"outside counter range [0, {self.stride.confidence_max}]",
+        )
 
 
 @dataclass(frozen=True)

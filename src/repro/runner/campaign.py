@@ -1,0 +1,506 @@
+"""Resilient execution of sweep campaigns.
+
+A *campaign* is an ordered list of :class:`RunSpec` points (one
+simulation each).  The :class:`CampaignRunner` executes them with the
+failure-handling machinery that a long unattended sweep needs:
+
+- **Process isolation** — each attempt runs in a fresh single-worker
+  ``concurrent.futures.ProcessPoolExecutor``, so a crashed or wedged
+  simulation cannot take down the campaign, and a timed-out worker can
+  simply be killed.
+- **Timeouts** — a wall-clock budget per attempt
+  (:class:`~repro.errors.RunTimeoutError` when exceeded).
+- **Bounded retry with exponential backoff** — only errors whose class
+  is marked ``retryable`` in the taxonomy are retried; a
+  :class:`~repro.errors.ConfigError` or
+  :class:`~repro.errors.TraceFormatError` is determinate and fails the
+  point immediately.
+- **Checkpointing** — every terminal outcome is appended to
+  ``checkpoint.jsonl`` in the campaign directory; ``resume=True`` skips
+  points already recorded there (matching both ``run_id`` and spec
+  fingerprint) and reloads their results, so an interrupted campaign
+  finishes with results identical to an uninterrupted one.
+- **Degradation policy** — ``on_error="skip"`` records the failure and
+  moves on (the unattended default); ``on_error="fail"`` re-raises after
+  recording (fail-fast, the legacy in-process sweep behaviour).
+
+Because specs cross a process boundary, a spec's trace is *declarative*:
+a :class:`WorkloadSpec` (regenerate from the registry), a
+:class:`TraceFileSpec` (reload from disk), or a picklable zero-argument
+callable.  Unpicklable callables (lambdas/closures, as used by the
+legacy ``run_configs`` API) automatically fall back to inline execution
+for that point.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
+
+from repro.config import SimConfig
+from repro.errors import (
+    ConfigError,
+    ReproError,
+    RunTimeoutError,
+    SimulationError,
+    TraceFormatError,
+    error_kind,
+)
+from repro.runner.checkpoint import (
+    CheckpointStore,
+    result_from_dict,
+    result_to_dict,
+    spec_fingerprint,
+)
+from repro.runner.faults import FaultSpec, inject_faults
+from repro.trace.record import TraceRecord
+
+if TYPE_CHECKING:  # runtime import is lazy: repro.sim.sweep imports us back
+    from repro.sim.results import SimulationResult
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A trace regenerated from the workload registry (picklable)."""
+
+    name: str
+    seed: int = 1
+    scale: float = 1.0
+
+
+@dataclass(frozen=True)
+class TraceFileSpec:
+    """A trace reloaded from disk (picklable)."""
+
+    path: str
+    strict: bool = True
+
+
+TraceSource = Union[WorkloadSpec, TraceFileSpec, Callable[[], Iterable[TraceRecord]]]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One point of a campaign: a config against a trace source."""
+
+    run_id: str
+    config: SimConfig
+    trace: TraceSource
+    max_instructions: Optional[int] = None
+    warmup_instructions: int = 0
+    #: Deterministic fault schedule (testing/chaos engineering only).
+    faults: Optional[FaultSpec] = None
+
+    def fingerprint(self) -> str:
+        return spec_fingerprint(
+            self.config, self.trace, self.max_instructions,
+            self.warmup_instructions, self.faults,
+        )
+
+
+@dataclass
+class RunOutcome:
+    """Terminal result of one campaign point."""
+
+    run_id: str
+    status: str  # "ok" | "failed"
+    attempts: int
+    result: Optional[SimulationResult] = None
+    error_kind: Optional[str] = None
+    error_message: Optional[str] = None
+    resumed: bool = False
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced, completed and failed alike."""
+
+    results: Dict[str, SimulationResult] = field(default_factory=dict)
+    failures: Dict[str, RunOutcome] = field(default_factory=dict)
+    outcomes: Dict[str, RunOutcome] = field(default_factory=dict)
+    resumed: List[str] = field(default_factory=list)
+    manifest: Optional[Dict[str, Any]] = None
+
+
+def _resolve_trace(
+    trace: TraceSource,
+    faults: Optional[FaultSpec],
+    attempt: int,
+) -> Iterable[TraceRecord]:
+    # Imported lazily: this module must stay importable from
+    # repro.sim.sweep without creating an import cycle through
+    # repro.sim/__init__ or repro.workloads.
+    if isinstance(trace, WorkloadSpec):
+        from repro.workloads import get_workload
+
+        records: Iterable[TraceRecord] = get_workload(
+            trace.name, seed=trace.seed, scale=trace.scale
+        )
+    elif isinstance(trace, TraceFileSpec):
+        from repro.trace.io import load_trace
+
+        records = load_trace(trace.path, strict=trace.strict)
+    elif callable(trace):
+        records = trace()
+    else:
+        raise ConfigError(
+            f"RunSpec.trace: cannot interpret {type(trace).__name__} "
+            "as a trace source",
+            field="RunSpec.trace",
+        )
+    if faults is not None and not faults.is_noop:
+        records = inject_faults(records, faults, attempt=attempt)
+    return records
+
+
+def execute_spec(spec: RunSpec, attempt: int = 0) -> SimulationResult:
+    """Run one campaign point to completion in the current process.
+
+    Module-level (not a method) so ``ProcessPoolExecutor`` can pickle it
+    into a worker.  Raises taxonomy errors only: the simulator wraps
+    unexpected crashes into :class:`~repro.errors.SimulationError`.
+    """
+    from repro.sim.simulator import simulate
+
+    records = _resolve_trace(spec.trace, spec.faults, attempt)
+    return simulate(
+        spec.config,
+        records,
+        max_instructions=spec.max_instructions,
+        warmup_instructions=spec.warmup_instructions,
+        label=spec.run_id,
+    )
+
+
+def _is_picklable(spec: RunSpec) -> bool:
+    try:
+        pickle.dumps(spec)
+        return True
+    except Exception:
+        return False
+
+
+class CampaignRunner:
+    """Executes :class:`RunSpec` sequences with isolation, retry, and
+    checkpointing.  See the module docstring for the full behaviour."""
+
+    def __init__(
+        self,
+        campaign_dir: Optional[str] = None,
+        *,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        backoff_base: float = 0.5,
+        backoff_max: float = 30.0,
+        on_error: str = "skip",
+        isolation: str = "process",
+        resume: bool = False,
+        sleep: Callable[[float], None] = time.sleep,
+        on_outcome: Optional[Callable[[RunOutcome], None]] = None,
+    ) -> None:
+        if on_error not in ("skip", "fail"):
+            raise ConfigError(
+                f"CampaignRunner.on_error: expected 'skip' or 'fail', "
+                f"got {on_error!r}",
+                field="CampaignRunner.on_error",
+            )
+        if isolation not in ("process", "inline"):
+            raise ConfigError(
+                f"CampaignRunner.isolation: expected 'process' or 'inline', "
+                f"got {isolation!r}",
+                field="CampaignRunner.isolation",
+            )
+        if retries < 0:
+            raise ConfigError(
+                "CampaignRunner.retries: must be >= 0",
+                field="CampaignRunner.retries",
+            )
+        if timeout is not None and timeout <= 0:
+            raise ConfigError(
+                "CampaignRunner.timeout: must be positive",
+                field="CampaignRunner.timeout",
+            )
+        if timeout is not None and isolation != "process":
+            raise ConfigError(
+                "CampaignRunner.timeout: requires process isolation "
+                "(an inline hang cannot be interrupted)",
+                field="CampaignRunner.timeout",
+            )
+        if resume and campaign_dir is None:
+            raise ConfigError(
+                "CampaignRunner.resume: requires a campaign_dir to "
+                "resume from",
+                field="CampaignRunner.resume",
+            )
+        self.campaign_dir = campaign_dir
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.on_error = on_error
+        self.isolation = isolation
+        self.resume = resume
+        self._sleep = sleep
+        self._on_outcome = on_outcome
+
+    # -- single-attempt execution -------------------------------------
+
+    def _attempt_in_subprocess(
+        self, spec: RunSpec, attempt: int
+    ) -> SimulationResult:
+        executor = ProcessPoolExecutor(max_workers=1)
+        try:
+            future = executor.submit(execute_spec, spec, attempt)
+            try:
+                return future.result(timeout=self.timeout)
+            except FuturesTimeoutError:
+                self._kill_workers(executor)
+                raise RunTimeoutError(
+                    f"run {spec.run_id!r} exceeded {self.timeout:g}s "
+                    f"(attempt {attempt + 1})"
+                ) from None
+            except BrokenProcessPool as error:
+                raise SimulationError(
+                    f"run {spec.run_id!r}: worker process died "
+                    f"(attempt {attempt + 1}): {error}"
+                ) from error
+            except KeyboardInterrupt:
+                self._kill_workers(executor)
+                raise
+        finally:
+            # Workers are idle (attempt finished) or just killed, so a
+            # synchronous shutdown is immediate — and it lets the pool's
+            # management thread exit cleanly instead of tripping over
+            # closed pipes in the interpreter's atexit hooks.
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    @staticmethod
+    def _kill_workers(executor: ProcessPoolExecutor) -> None:
+        for process in list((executor._processes or {}).values()):
+            process.kill()
+
+    def _attempt(self, spec: RunSpec, attempt: int) -> SimulationResult:
+        if self.isolation == "process" and _is_picklable(spec):
+            return self._attempt_in_subprocess(spec, attempt)
+        return execute_spec(spec, attempt)
+
+    # -- retry loop ----------------------------------------------------
+
+    def _run_spec(self, spec: RunSpec) -> RunOutcome:
+        start = time.monotonic()
+        last_error: Optional[ReproError] = None
+        attempts = 0
+        for attempt in range(self.retries + 1):
+            attempts = attempt + 1
+            try:
+                result = self._attempt(spec, attempt)
+                return RunOutcome(
+                    run_id=spec.run_id,
+                    status="ok",
+                    attempts=attempts,
+                    result=result,
+                    elapsed_seconds=time.monotonic() - start,
+                )
+            except KeyboardInterrupt:
+                raise
+            except ReproError as error:
+                last_error = error
+            except Exception as error:
+                # A worker can surface arbitrary pickled exceptions
+                # (e.g. the trace source itself raising before simulate
+                # classifies anything): treat as a simulation failure.
+                last_error = SimulationError(
+                    f"run {spec.run_id!r} raised "
+                    f"{type(error).__name__}: {error}"
+                )
+            if not last_error.retryable or attempt == self.retries:
+                break
+            self._sleep(
+                min(self.backoff_max, self.backoff_base * (2.0 ** attempt))
+            )
+        assert last_error is not None
+        return RunOutcome(
+            run_id=spec.run_id,
+            status="failed",
+            attempts=attempts,
+            error_kind=error_kind(last_error),
+            error_message=str(last_error),
+            elapsed_seconds=time.monotonic() - start,
+        )
+
+    # -- checkpoint plumbing -------------------------------------------
+
+    @staticmethod
+    def _entry_of(outcome: RunOutcome, fingerprint: str) -> Dict[str, Any]:
+        return {
+            "run_id": outcome.run_id,
+            "status": outcome.status,
+            "fingerprint": fingerprint,
+            "attempts": outcome.attempts,
+            "elapsed_seconds": round(outcome.elapsed_seconds, 6),
+            "result": (
+                result_to_dict(outcome.result)
+                if outcome.result is not None
+                else None
+            ),
+            "error": (
+                {"kind": outcome.error_kind, "message": outcome.error_message}
+                if outcome.status == "failed"
+                else None
+            ),
+        }
+
+    @staticmethod
+    def _outcome_of(entry: Dict[str, Any]) -> RunOutcome:
+        error = entry.get("error") or {}
+        result = entry.get("result")
+        return RunOutcome(
+            run_id=entry["run_id"],
+            status=entry["status"],
+            attempts=int(entry.get("attempts", 1)),
+            result=result_from_dict(result) if result else None,
+            error_kind=error.get("kind"),
+            error_message=error.get("message"),
+            resumed=True,
+            elapsed_seconds=float(entry.get("elapsed_seconds", 0.0)),
+        )
+
+    # -- campaign driver -----------------------------------------------
+
+    def run_one(self, spec: RunSpec) -> SimulationResult:
+        """Execute a single point outside any campaign bookkeeping.
+
+        Applies isolation/timeout/retry but no checkpointing, and always
+        raises on failure (so callers keep plain function semantics).
+        """
+        outcome = self._run_spec(spec)
+        if outcome.ok:
+            assert outcome.result is not None
+            return outcome.result
+        raise self._failure_error(outcome)
+
+    @staticmethod
+    def _failure_error(outcome: RunOutcome) -> ReproError:
+        message = outcome.error_message or "unknown failure"
+        kinds = {
+            "ConfigError": ConfigError,
+            "TraceFormatError": TraceFormatError,
+            "RunTimeoutError": RunTimeoutError,
+        }
+        return kinds.get(outcome.error_kind or "", SimulationError)(message)
+
+    def run(self, specs: Sequence[RunSpec]) -> CampaignResult:
+        """Execute a whole campaign; see the module docstring."""
+        seen: Dict[str, RunSpec] = {}
+        for spec in specs:
+            if spec.run_id in seen:
+                raise ConfigError(
+                    f"duplicate run_id {spec.run_id!r} in campaign",
+                    field="RunSpec.run_id",
+                )
+            seen[spec.run_id] = spec
+
+        store: Optional[CheckpointStore] = None
+        prior: Dict[str, Dict[str, Any]] = {}
+        if self.campaign_dir is not None:
+            store = CheckpointStore(self.campaign_dir)
+            if self.resume:
+                prior = store.load()
+            else:
+                store.clear()
+
+        campaign = CampaignResult()
+        status = "complete"
+        pending_error: Optional[ReproError] = None
+        try:
+            for spec in specs:
+                fingerprint = spec.fingerprint()
+                entry = prior.get(spec.run_id)
+                if entry is not None and entry.get("fingerprint") == fingerprint:
+                    outcome = self._outcome_of(entry)
+                    campaign.resumed.append(spec.run_id)
+                else:
+                    outcome = self._run_spec(spec)
+                    if store is not None:
+                        store.append(self._entry_of(outcome, fingerprint))
+                self._record(campaign, outcome)
+                if not outcome.ok and self.on_error == "fail":
+                    status = "failed"
+                    pending_error = self._failure_error(outcome)
+                    break
+                if self._on_outcome is not None:
+                    self._on_outcome(outcome)
+        except KeyboardInterrupt:
+            if store is not None:
+                campaign.manifest = self._write_manifest(
+                    store, "interrupted", len(specs), campaign
+                )
+            raise
+        if store is not None:
+            campaign.manifest = self._write_manifest(
+                store, status, len(specs), campaign
+            )
+        if pending_error is not None:
+            raise pending_error
+        return campaign
+
+    @staticmethod
+    def _record(campaign: CampaignResult, outcome: RunOutcome) -> None:
+        campaign.outcomes[outcome.run_id] = outcome
+        if outcome.ok:
+            assert outcome.result is not None
+            campaign.results[outcome.run_id] = outcome.result
+        else:
+            campaign.failures[outcome.run_id] = outcome
+
+    def _write_manifest(
+        self,
+        store: CheckpointStore,
+        status: str,
+        total: int,
+        campaign: CampaignResult,
+    ) -> Dict[str, Any]:
+        failures = [
+            {
+                "run_id": outcome.run_id,
+                "kind": outcome.error_kind,
+                "message": outcome.error_message,
+                "attempts": outcome.attempts,
+            }
+            for outcome in campaign.failures.values()
+        ]
+        return store.write_manifest(
+            status=status,
+            total=total,
+            completed=list(campaign.results),
+            resumed=campaign.resumed,
+            failures=failures,
+            extra={
+                "policy": {
+                    "timeout": self.timeout,
+                    "retries": self.retries,
+                    "on_error": self.on_error,
+                    "isolation": self.isolation,
+                },
+            },
+        )

@@ -1,0 +1,144 @@
+"""Campaign persistence: JSON-lines checkpoints and the manifest.
+
+A campaign directory holds two files:
+
+``checkpoint.jsonl``
+    One JSON object per *terminal* run outcome (``ok`` or ``failed``),
+    appended the moment the outcome is known and flushed to disk, so a
+    killed campaign loses at most the point that was in flight.  On
+    ``--resume`` the runner replays this file and skips every point
+    whose ``run_id`` and spec fingerprint match.
+
+``manifest.json``
+    A human-readable summary rewritten at the end of every run (and on
+    interrupt): totals, per-failure records with their error taxonomy
+    kind, and the campaign status.
+
+Results round-trip exactly: :func:`result_to_dict` /
+:func:`result_from_dict` serialize every field of
+:class:`~repro.sim.results.SimulationResult`, and JSON floats preserve
+value identity, so a resumed campaign reports bit-identical numbers to
+an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional
+
+if TYPE_CHECKING:  # runtime import is lazy: repro.sim imports us back
+    from repro.sim.results import SimulationResult
+
+CHECKPOINT_NAME = "checkpoint.jsonl"
+MANIFEST_NAME = "manifest.json"
+
+
+def result_to_dict(result: "SimulationResult") -> Dict[str, Any]:
+    return dataclasses.asdict(result)
+
+
+def result_from_dict(data: Dict[str, Any]) -> "SimulationResult":
+    from repro.sim.results import SimulationResult
+
+    known = {field.name for field in dataclasses.fields(SimulationResult)}
+    return SimulationResult(**{k: v for k, v in data.items() if k in known})
+
+
+def spec_fingerprint(*parts: Any) -> str:
+    """Stable digest of a run's defining inputs.
+
+    Frozen dataclasses (configs, workload/trace specs) have
+    deterministic ``repr``; callables contribute only their qualified
+    name so the digest does not depend on object identity.
+    """
+    canonical: List[str] = []
+    for part in parts:
+        if callable(part) and not isinstance(part, type):
+            canonical.append(
+                f"{getattr(part, '__module__', '?')}."
+                f"{getattr(part, '__qualname__', repr(type(part)))}"
+            )
+        else:
+            canonical.append(repr(part))
+    digest = hashlib.sha256("|".join(canonical).encode()).hexdigest()
+    return digest[:16]
+
+
+class CheckpointStore:
+    """Append-only record of terminal run outcomes in a campaign dir."""
+
+    def __init__(self, campaign_dir: str) -> None:
+        self.campaign_dir = campaign_dir
+        os.makedirs(campaign_dir, exist_ok=True)
+        self.checkpoint_path = os.path.join(campaign_dir, CHECKPOINT_NAME)
+        self.manifest_path = os.path.join(campaign_dir, MANIFEST_NAME)
+
+    def clear(self) -> None:
+        """Start a fresh campaign: drop any previous checkpoint/manifest."""
+        for path in (self.checkpoint_path, self.manifest_path):
+            if os.path.exists(path):
+                os.remove(path)
+
+    def append(self, entry: Dict[str, Any]) -> None:
+        """Durably record one terminal outcome."""
+        with open(self.checkpoint_path, "a") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """Replay the checkpoint: ``run_id`` -> latest terminal entry.
+
+        Tolerates a truncated final line (the writer may have been
+        killed mid-append); later entries for the same ``run_id``
+        supersede earlier ones.
+        """
+        entries: Dict[str, Dict[str, Any]] = {}
+        if not os.path.exists(self.checkpoint_path):
+            return entries
+        with open(self.checkpoint_path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write at the kill point
+                if isinstance(entry, dict) and "run_id" in entry:
+                    entries[entry["run_id"]] = entry
+        return entries
+
+    def write_manifest(
+        self,
+        status: str,
+        total: int,
+        completed: Iterable[str],
+        resumed: Iterable[str],
+        failures: Iterable[Dict[str, Any]],
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        failures = list(failures)
+        manifest: Dict[str, Any] = {
+            "status": status,
+            "total_points": total,
+            "ok": len(list(completed)),
+            "failed": len(failures),
+            "resumed_from_checkpoint": len(list(resumed)),
+            "failures": failures,
+        }
+        if extra:
+            manifest.update(extra)
+        with open(self.manifest_path, "w") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return manifest
+
+    def read_manifest(self) -> Optional[Dict[str, Any]]:
+        if not os.path.exists(self.manifest_path):
+            return None
+        with open(self.manifest_path) as handle:
+            return json.load(handle)

@@ -1,0 +1,125 @@
+"""Deterministic fault injection for testing the campaign runner.
+
+A :class:`FaultSpec` rides inside a :class:`~repro.runner.campaign.RunSpec`
+(it is a frozen, picklable dataclass, so it crosses the process boundary)
+and :func:`inject_faults` wraps the run's trace iterator to fire the
+scheduled faults:
+
+- **crash** — raise :class:`InjectedCrash` (a plain ``RuntimeError``)
+  when the indexed record is reached.  The simulator classifies it as a
+  retryable :class:`~repro.errors.SimulationError`.  ``crash_attempts``
+  limits the crash to the first *k* attempts of a run, which is how
+  tests prove that retry actually recovers.
+- **hang** — sleep ``hang_seconds`` at the indexed record, modelling a
+  wedged simulation.  Only a process-isolated runner with a timeout can
+  recover from this; never inject a hang into an inline run.
+- **corrupt record** — raise :class:`~repro.errors.TraceFormatError` at
+  the indexed record, modelling a malformed record discovered mid-stream
+  by a lazy trace parser.  Non-retryable by design.
+
+Everything is a function of (record index, attempt number): the same
+spec always fires the same faults at the same points, so recovery tests
+are exactly reproducible.
+
+:func:`corrupt_trace_file` complements the iterator-level faults by
+physically clobbering a line of an on-disk trace, for end-to-end tests
+that want the *real* parser to trip over a *real* bad record.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import TraceFormatError
+from repro.trace.record import TraceRecord
+
+
+class InjectedCrash(RuntimeError):
+    """The fault harness's stand-in for an arbitrary simulator crash."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Schedule of faults to inject into one run's trace stream.
+
+    Record indices are 0-based positions in the dynamic record stream.
+    ``None`` disables that fault.
+    """
+
+    #: Raise :class:`InjectedCrash` when this record index is reached.
+    crash_at: Optional[int] = None
+    #: Crash only on the first ``crash_attempts`` attempts (``None`` =
+    #: every attempt — a "hard" deterministic crash).
+    crash_attempts: Optional[int] = None
+    #: Sleep at this record index, simulating a hung run.
+    hang_at: Optional[int] = None
+    hang_seconds: float = 3600.0
+    #: Raise :class:`TraceFormatError` at this record index.
+    corrupt_at: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("crash_at", "hang_at", "corrupt_at"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"FaultSpec.{name}: must be >= 0")
+
+    @property
+    def is_noop(self) -> bool:
+        return (
+            self.crash_at is None
+            and self.hang_at is None
+            and self.corrupt_at is None
+        )
+
+
+def inject_faults(
+    records: Iterable[TraceRecord],
+    spec: FaultSpec,
+    attempt: int = 0,
+) -> Iterator[TraceRecord]:
+    """Yield ``records``, firing the faults scheduled in ``spec``.
+
+    ``attempt`` is the 0-based retry attempt of the surrounding run; it
+    gates ``crash_attempts`` so a transient crash can "heal" after a
+    retry while everything else stays byte-identical.
+    """
+    crash_armed = spec.crash_at is not None and (
+        spec.crash_attempts is None or attempt < spec.crash_attempts
+    )
+    for index, record in enumerate(records):
+        if spec.corrupt_at is not None and index == spec.corrupt_at:
+            raise TraceFormatError(
+                f"injected corrupt record at index {index}",
+                line_number=index + 2,  # +1 header, +1 to 1-based
+                line="<injected>",
+            )
+        if crash_armed and index == spec.crash_at:
+            raise InjectedCrash(
+                f"injected crash at record {index} (attempt {attempt})"
+            )
+        if spec.hang_at is not None and index == spec.hang_at:
+            time.sleep(spec.hang_seconds)
+        yield record
+
+
+def corrupt_trace_file(
+    path: str, line_number: int, garbage: str = "!! corrupt record !!"
+) -> str:
+    """Overwrite 1-based ``line_number`` of the trace at ``path``.
+
+    Returns the original line text so tests can assert against it.  The
+    header is line 1; the first record is line 2.
+    """
+    with open(path) as handle:
+        lines = handle.readlines()
+    if not 1 <= line_number <= len(lines):
+        raise ValueError(
+            f"line {line_number} out of range (file has {len(lines)} lines)"
+        )
+    original = lines[line_number - 1].rstrip("\n")
+    lines[line_number - 1] = garbage + "\n"
+    with open(path, "w") as handle:
+        handle.writelines(lines)
+    return original

@@ -16,6 +16,7 @@ from typing import Iterable, Optional
 
 from repro.config import SimConfig
 from repro.cpu.core import OutOfOrderCore
+from repro.errors import ReproError, SimulationError
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.sim.results import SimulationResult
 from repro.streambuf.controller import build_prefetcher
@@ -56,12 +57,22 @@ class Simulator:
             if self.controller is not None:
                 self.controller.reset_stats()
 
-        stats = self.core.run(
-            trace,
-            max_instructions=max_instructions,
-            warmup_instructions=warmup,
-            on_warmup_end=on_warmup_end,
-        )
+        try:
+            stats = self.core.run(
+                trace,
+                max_instructions=max_instructions,
+                warmup_instructions=warmup,
+                on_warmup_end=on_warmup_end,
+            )
+        except ReproError:
+            # Already classified (e.g. a TraceFormatError surfacing from a
+            # lazily-parsed trace iterator): keep the precise category.
+            raise
+        except Exception as error:
+            raise SimulationError(
+                f"simulation {label!r} crashed: "
+                f"{type(error).__name__}: {error}"
+            ) from error
         hierarchy = self.hierarchy
         controller = self.controller
         return SimulationResult(

@@ -3,6 +3,22 @@
 Figures 5-9 sweep configurations at a fixed machine; Figure 10 sweeps
 the L1 data-cache geometry; Figure 11 sweeps the disambiguation policy.
 These helpers run a fresh machine per point and return labelled results.
+
+Execution is delegated to :mod:`repro.runner`: by default every point
+runs inline and fail-fast (the historical behaviour — same results,
+same exceptions), but passing a configured
+:class:`~repro.runner.CampaignRunner` turns any sweep into a resilient
+campaign with process isolation, timeouts, retries, and checkpointed
+resume::
+
+    from repro.runner import CampaignRunner
+
+    runner = CampaignRunner("fig10-campaign", timeout=300, retries=1)
+    results = cache_sweep(base, trace_factory, runner=runner)
+
+Failed points are simply absent from the returned dict when the runner's
+policy is ``on_error="skip"``; consult ``runner``'s campaign manifest
+for the failure records.
 """
 
 from __future__ import annotations
@@ -10,8 +26,8 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.config import SimConfig
+from repro.runner.campaign import CampaignRunner, RunSpec
 from repro.sim.results import SimulationResult
-from repro.sim.simulator import simulate
 from repro.trace.record import TraceRecord
 
 #: A factory producing a fresh trace per run (traces are single-use).
@@ -25,23 +41,43 @@ FIGURE10_CACHES: List[Tuple[int, int, str]] = [
 ]
 
 
+def _default_runner() -> CampaignRunner:
+    """Legacy semantics: in-process, no retry, raise on first failure."""
+    return CampaignRunner(on_error="fail", isolation="inline")
+
+
+def _run_specs(
+    specs: List[RunSpec], runner: Optional[CampaignRunner]
+) -> Dict[str, SimulationResult]:
+    campaign = (runner or _default_runner()).run(specs)
+    # Keep sweep order (campaign.results is insertion-ordered already,
+    # but resumed points interleave identically because specs drive it).
+    return {
+        spec.run_id: campaign.results[spec.run_id]
+        for spec in specs
+        if spec.run_id in campaign.results
+    }
+
+
 def run_configs(
     configs: Dict[str, SimConfig],
     trace_factory: TraceFactory,
     max_instructions: Optional[int] = None,
     warmup_instructions: int = 0,
+    runner: Optional[CampaignRunner] = None,
 ) -> Dict[str, SimulationResult]:
     """Run every labelled config against fresh copies of the same workload."""
-    results: Dict[str, SimulationResult] = {}
-    for label, config in configs.items():
-        results[label] = simulate(
-            config,
-            trace_factory(),
+    specs = [
+        RunSpec(
+            run_id=label,
+            config=config,
+            trace=trace_factory,
             max_instructions=max_instructions,
             warmup_instructions=warmup_instructions,
-            label=label,
         )
-    return results
+        for label, config in configs.items()
+    ]
+    return _run_specs(specs, runner)
 
 
 def cache_sweep(
@@ -50,17 +86,18 @@ def cache_sweep(
     max_instructions: Optional[int] = None,
     warmup_instructions: int = 0,
     geometries: Optional[List[Tuple[int, int, str]]] = None,
+    runner: Optional[CampaignRunner] = None,
 ) -> Dict[str, SimulationResult]:
     """Run one config across the Figure 10 L1 geometries."""
     geometries = geometries if geometries is not None else FIGURE10_CACHES
-    results: Dict[str, SimulationResult] = {}
-    for size_bytes, associativity, label in geometries:
-        config = base_config.with_l1(size_bytes, associativity)
-        results[label] = simulate(
-            config,
-            trace_factory(),
+    specs = [
+        RunSpec(
+            run_id=label,
+            config=base_config.with_l1(size_bytes, associativity),
+            trace=trace_factory,
             max_instructions=max_instructions,
             warmup_instructions=warmup_instructions,
-            label=label,
         )
-    return results
+        for size_bytes, associativity, label in geometries
+    ]
+    return _run_specs(specs, runner)

@@ -16,8 +16,9 @@ All numbers are hexadecimal except the dependence distances.
 
 from __future__ import annotations
 
-from typing import IO, Iterable, Iterator, List, Union
+from typing import IO, Iterable, Iterator, List, Optional, Union
 
+from repro.errors import TraceFormatError
 from repro.trace.record import InstrKind, TraceRecord
 
 _HEADER = "# repro-trace v1"
@@ -37,8 +38,12 @@ _KIND_TO_CODE = {
 _CODE_TO_KIND = {code: kind for kind, code in _KIND_TO_CODE.items()}
 
 
-class TraceFormatError(ValueError):
-    """Raised when a trace file does not parse."""
+__all__ = [
+    "TraceFormatError",
+    "save_trace",
+    "load_trace",
+    "load_trace_list",
+]
 
 
 def _format_record(record: TraceRecord) -> str:
@@ -74,7 +79,9 @@ def _parse_line(line: str, line_number: int) -> TraceRecord:
         return TraceRecord(kind, pc, dep1=int(fields[2]), dep2=int(fields[3]))
     except (KeyError, IndexError, ValueError) as error:
         raise TraceFormatError(
-            f"line {line_number}: cannot parse {line!r}"
+            f"line {line_number}: cannot parse {line!r}",
+            line_number=line_number,
+            line=line,
         ) from error
 
 
@@ -104,28 +111,56 @@ def save_trace(
     return _write(destination)
 
 
-def load_trace(source: Union[str, IO[str]]) -> Iterator[TraceRecord]:
-    """Lazily yield records from a trace file or open handle."""
+def load_trace(
+    source: Union[str, IO[str]],
+    strict: bool = True,
+    errors: Optional[List[TraceFormatError]] = None,
+) -> Iterator[TraceRecord]:
+    """Lazily yield records from a trace file or open handle.
+
+    Blank lines and ``#`` comments are tolerated anywhere in the file.
+    With ``strict=False`` unparseable records are skipped instead of
+    aborting the load; each skipped record's :class:`TraceFormatError`
+    (carrying ``line_number`` and ``line``) is appended to ``errors``
+    when a list is supplied, so callers can count and report them.  A
+    missing or wrong header always raises: the file cannot be a trace.
+    """
 
     def _read(handle: IO[str]) -> Iterator[TraceRecord]:
         first = handle.readline().rstrip("\n")
         if first != _HEADER:
             raise TraceFormatError(
-                f"bad header: expected {_HEADER!r}, got {first!r}"
+                f"bad header: expected {_HEADER!r}, got {first!r}",
+                line_number=1,
+                line=first,
             )
         for line_number, line in enumerate(handle, start=2):
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
-            yield _parse_line(line, line_number)
+            try:
+                yield _parse_line(line, line_number)
+            except TraceFormatError as error:
+                if strict:
+                    raise
+                if errors is not None:
+                    errors.append(error)
 
     if isinstance(source, str):
-        with open(source) as handle:
+        try:
+            handle = open(source)
+        except OSError as error:
+            raise TraceFormatError(f"cannot open trace {source!r}: {error}")
+        with handle:
             yield from _read(handle)
     else:
         yield from _read(source)
 
 
-def load_trace_list(source: Union[str, IO[str]]) -> List[TraceRecord]:
-    """Eagerly load a whole trace file."""
-    return list(load_trace(source))
+def load_trace_list(
+    source: Union[str, IO[str]],
+    strict: bool = True,
+    errors: Optional[List[TraceFormatError]] = None,
+) -> List[TraceRecord]:
+    """Eagerly load a whole trace file (same options as :func:`load_trace`)."""
+    return list(load_trace(source, strict=strict, errors=errors))

@@ -1,7 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+import os
+
 import pytest
 
+import repro.cli as cli
 from repro.cli import MACHINES, main
 from repro.trace.io import load_trace_list
 
@@ -67,3 +71,68 @@ class TestTraceCommand:
         records = load_trace_list(path)
         assert len(records) == 500
         assert "wrote 500 records" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    _FAST = ["--instructions", "2000", "--warmup", "500", "--no-isolate"]
+
+    def test_runs_selected_machines(self, capsys):
+        code = main(
+            ["sweep", "health", "--machines", "base,psb"] + self._FAST
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "base" in out and "psb" in out and "ok" in out
+
+    def test_writes_campaign_state(self, tmp_path, capsys):
+        d = str(tmp_path / "camp")
+        code = main(
+            ["sweep", "health", "--machines", "base", "--campaign-dir", d]
+            + self._FAST
+        )
+        assert code == 0
+        manifest = json.load(open(os.path.join(d, "manifest.json")))
+        assert manifest["status"] == "complete"
+        assert manifest["ok"] == 1
+
+    def test_resume_skips_completed(self, tmp_path, capsys):
+        d = str(tmp_path / "camp")
+        args = (
+            ["sweep", "health", "--machines", "base", "--campaign-dir", d]
+            + self._FAST
+        )
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--resume"]) == 0
+        assert "resumed" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    def test_success_exits_zero(self):
+        assert main(["workloads"]) == 0
+
+    def test_repro_error_exits_one_with_message(self, capsys):
+        code = main(
+            ["sweep", "health", "--machines", "warp-drive",
+             "--instructions", "100", "--no-isolate"]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "repro-sim: error:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_resume_without_campaign_dir_exits_one(self, capsys):
+        code = main(
+            ["sweep", "health", "--resume", "--instructions", "100",
+             "--no-isolate"]
+        )
+        assert code == 1
+        assert "campaign_dir" in capsys.readouterr().err
+
+    def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        def interrupted():
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_command_workloads", interrupted)
+        assert main(["workloads"]) == 130
+        assert "interrupted" in capsys.readouterr().err

@@ -6,11 +6,18 @@ from repro.config import (
     AllocationPolicy,
     BusConfig,
     CacheConfig,
+    CoreConfig,
     DisambiguationPolicy,
+    MarkovPredictorConfig,
+    MemoryConfig,
     PrefetchConfig,
     PrefetcherKind,
     SimConfig,
+    StreamBufferConfig,
+    StridePredictorConfig,
+    TlbConfig,
 )
+from repro.errors import ConfigError
 
 
 class TestCacheConfig:
@@ -111,3 +118,85 @@ class TestSimConfigHelpers:
         assert markov.entries == 2048
         assert markov.delta_bits == 16
         assert markov.differential
+
+
+class TestConstructionValidation:
+    """Invalid values fail at construction with the offending field named,
+    instead of blowing up deep inside the simulator."""
+
+    def test_non_positive_cache_size(self):
+        with pytest.raises(ConfigError) as excinfo:
+            CacheConfig(
+                name="bad", size_bytes=0, associativity=2, block_size=32,
+                hit_latency=1,
+            )
+        assert "size_bytes" in excinfo.value.field
+
+    def test_non_positive_associativity(self):
+        with pytest.raises(ConfigError) as excinfo:
+            CacheConfig(
+                name="bad", size_bytes=1024, associativity=0, block_size=32,
+                hit_latency=1,
+            )
+        assert "associativity" in excinfo.value.field
+
+    def test_config_error_is_a_value_error(self):
+        """Legacy callers catching ValueError still work."""
+        with pytest.raises(ValueError):
+            CacheConfig(
+                name="bad", size_bytes=-1, associativity=2, block_size=32,
+                hit_latency=1,
+            )
+
+    def test_zero_bandwidth_bus(self):
+        with pytest.raises(ConfigError):
+            BusConfig(name="bad", bytes_per_cycle=0)
+
+    def test_zero_entry_stride_predictor(self):
+        with pytest.raises(ConfigError) as excinfo:
+            StridePredictorConfig(entries=0)
+        assert "StridePredictorConfig.entries" == excinfo.value.field
+
+    def test_zero_entry_markov_predictor(self):
+        with pytest.raises(ConfigError):
+            MarkovPredictorConfig(entries=0)
+
+    def test_zero_entry_tlb(self):
+        with pytest.raises(ConfigError):
+            TlbConfig(entries=0)
+
+    def test_non_power_of_two_page_size(self):
+        with pytest.raises(ConfigError):
+            TlbConfig(page_size=1000)
+
+    def test_negative_memory_latency(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(access_latency=-1)
+
+    def test_zero_width_core(self):
+        with pytest.raises(ConfigError) as excinfo:
+            CoreConfig(issue_width=0)
+        assert "issue_width" in excinfo.value.field
+
+    def test_zero_buffer_stream_config(self):
+        with pytest.raises(ConfigError):
+            StreamBufferConfig(num_buffers=0)
+
+    def test_confidence_initial_above_max(self):
+        with pytest.raises(ConfigError):
+            StridePredictorConfig(confidence_max=7, confidence_initial=8)
+
+    def test_confidence_threshold_outside_counter_range(self):
+        with pytest.raises(ConfigError) as excinfo:
+            PrefetchConfig(
+                stream_buffers=StreamBufferConfig(confidence_threshold=8),
+                stride=StridePredictorConfig(confidence_max=7),
+            )
+        assert "confidence_threshold" in excinfo.value.field
+
+    def test_threshold_at_counter_max_is_allowed(self):
+        config = PrefetchConfig(
+            stream_buffers=StreamBufferConfig(confidence_threshold=7),
+            stride=StridePredictorConfig(confidence_max=7),
+        )
+        assert config.stream_buffers.confidence_threshold == 7

@@ -1,0 +1,76 @@
+"""Tests for the structured exception taxonomy."""
+
+import pickle
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    ReproError,
+    RunTimeoutError,
+    SimulationError,
+    TraceFormatError,
+    error_kind,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for cls in (ConfigError, TraceFormatError, SimulationError,
+                    RunTimeoutError):
+            assert issubclass(cls, ReproError)
+
+    def test_timeout_is_a_simulation_error(self):
+        assert issubclass(RunTimeoutError, SimulationError)
+
+    def test_input_errors_stay_value_errors(self):
+        """Backwards compatibility: callers catching ValueError keep working."""
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(TraceFormatError, ValueError)
+
+    def test_retryability_split(self):
+        assert not ConfigError("x").retryable
+        assert not TraceFormatError("x").retryable
+        assert SimulationError("x").retryable
+        assert RunTimeoutError("x").retryable
+
+    def test_exit_codes(self):
+        assert ReproError("x").exit_code == 1
+
+
+class TestStructuredFields:
+    def test_config_error_names_field(self):
+        error = ConfigError("bad size", field="CacheConfig.size_bytes")
+        assert error.field == "CacheConfig.size_bytes"
+        assert "bad size" in str(error)
+
+    def test_trace_format_error_carries_line(self):
+        error = TraceFormatError("bad", line_number=7, line="Z z z")
+        assert error.line_number == 7
+        assert error.line == "Z z z"
+
+    def test_error_kind(self):
+        assert error_kind(RunTimeoutError("t")) == "RunTimeoutError"
+
+
+class TestPickling:
+    """Failures must cross the ProcessPoolExecutor boundary intact."""
+
+    @pytest.mark.parametrize(
+        "error",
+        [
+            ReproError("base"),
+            ConfigError("bad", field="X.y"),
+            TraceFormatError("bad", line_number=3, line="junk"),
+            SimulationError("crash"),
+            RunTimeoutError("slow"),
+        ],
+    )
+    def test_round_trip(self, error):
+        clone = pickle.loads(pickle.dumps(error))
+        assert type(clone) is type(error)
+        assert str(clone) == str(error)
+        assert clone.retryable == error.retryable
+        for attr in ("field", "line_number", "line"):
+            if hasattr(error, attr):
+                assert getattr(clone, attr) == getattr(error, attr)

@@ -1,0 +1,300 @@
+"""Unit tests for the campaign runner (inline isolation for speed).
+
+Process-isolation and the end-to-end acceptance campaign live in
+``test_runner_campaign.py``.
+"""
+
+import itertools
+import json
+import os
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    SimulationError,
+    TraceFormatError,
+)
+from repro.runner import (
+    CHECKPOINT_NAME,
+    MANIFEST_NAME,
+    CampaignRunner,
+    FaultSpec,
+    RunSpec,
+    WorkloadSpec,
+)
+from repro.sim import baseline_config, simulate
+from repro.sim.sweep import cache_sweep, run_configs
+from repro.workloads import get_workload
+
+INSTRUCTIONS = 1_500
+WARMUP = 300
+
+
+def _spec(run_id="point", faults=None, trace=None, instructions=INSTRUCTIONS):
+    return RunSpec(
+        run_id=run_id,
+        config=baseline_config(),
+        trace=trace if trace is not None else WorkloadSpec("health", seed=1),
+        max_instructions=instructions,
+        warmup_instructions=WARMUP,
+        faults=faults,
+    )
+
+
+def _inline(**kwargs):
+    kwargs.setdefault("isolation", "inline")
+    kwargs.setdefault("backoff_base", 0.0)
+    return CampaignRunner(**kwargs)
+
+
+class TestRunOne:
+    def test_matches_direct_simulate(self):
+        direct = simulate(
+            baseline_config(), get_workload("health", seed=1),
+            max_instructions=INSTRUCTIONS, warmup_instructions=WARMUP,
+        )
+        via_runner = _inline().run_one(_spec())
+        assert via_runner.ipc == direct.ipc
+        assert via_runner.cycles == direct.cycles
+
+    def test_raises_on_failure(self):
+        with pytest.raises(SimulationError):
+            _inline().run_one(_spec(faults=FaultSpec(crash_at=10)))
+
+
+class TestRetryPolicy:
+    def test_transient_crash_recovers(self):
+        sleeps = []
+        runner = _inline(retries=2, backoff_base=0.5, sleep=sleeps.append)
+        outcome = runner.run(
+            [_spec(faults=FaultSpec(crash_at=10, crash_attempts=1))]
+        ).outcomes["point"]
+        assert outcome.ok
+        assert outcome.attempts == 2
+        assert sleeps == [0.5]  # one backoff before the healing attempt
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        sleeps = []
+        runner = _inline(
+            retries=4, backoff_base=1.0, backoff_max=3.0, sleep=sleeps.append
+        )
+        campaign = runner.run([_spec(faults=FaultSpec(crash_at=10))])
+        outcome = campaign.failures["point"]
+        assert outcome.attempts == 5
+        assert sleeps == [1.0, 2.0, 3.0, 3.0]
+
+    def test_non_retryable_fails_immediately(self):
+        sleeps = []
+        runner = _inline(retries=3, sleep=sleeps.append)
+        outcome = runner.run(
+            [_spec(faults=FaultSpec(corrupt_at=10))]
+        ).failures["point"]
+        assert outcome.attempts == 1
+        assert outcome.error_kind == "TraceFormatError"
+        assert sleeps == []
+
+    def test_crash_is_classified_retryable_simulation_error(self):
+        outcome = _inline(retries=1).run(
+            [_spec(faults=FaultSpec(crash_at=10))]
+        ).failures["point"]
+        assert outcome.error_kind == "SimulationError"
+        assert outcome.attempts == 2
+
+
+class TestDegradationPolicy:
+    def _specs(self):
+        return [
+            _spec("a"),
+            _spec("bad", faults=FaultSpec(corrupt_at=5)),
+            _spec("c"),
+        ]
+
+    def test_skip_records_and_continues(self):
+        campaign = _inline(on_error="skip").run(self._specs())
+        assert set(campaign.results) == {"a", "c"}
+        assert set(campaign.failures) == {"bad"}
+
+    def test_fail_fast_raises_and_stops(self):
+        with pytest.raises(TraceFormatError):
+            _inline(on_error="fail").run(self._specs())
+
+    def test_duplicate_run_ids_rejected(self):
+        with pytest.raises(ConfigError):
+            _inline().run([_spec("x"), _spec("x")])
+
+
+class TestRunnerValidation:
+    def test_bad_on_error(self):
+        with pytest.raises(ConfigError):
+            CampaignRunner(on_error="explode")
+
+    def test_bad_isolation(self):
+        with pytest.raises(ConfigError):
+            CampaignRunner(isolation="container")
+
+    def test_negative_retries(self):
+        with pytest.raises(ConfigError):
+            CampaignRunner(retries=-1)
+
+    def test_timeout_requires_process_isolation(self):
+        with pytest.raises(ConfigError):
+            CampaignRunner(timeout=5, isolation="inline")
+
+    def test_resume_requires_campaign_dir(self):
+        with pytest.raises(ConfigError):
+            CampaignRunner(resume=True)
+
+
+class TestCheckpointing:
+    def test_checkpoint_and_manifest_written(self, tmp_path):
+        d = str(tmp_path / "camp")
+        campaign = _inline(campaign_dir=d).run(
+            [_spec("a"), _spec("bad", faults=FaultSpec(corrupt_at=5))]
+        )
+        lines = [
+            json.loads(line)
+            for line in open(os.path.join(d, CHECKPOINT_NAME))
+        ]
+        assert [entry["run_id"] for entry in lines] == ["a", "bad"]
+        assert lines[0]["status"] == "ok"
+        assert lines[0]["result"]["ipc"] == campaign.results["a"].ipc
+        assert lines[1]["status"] == "failed"
+        assert lines[1]["error"]["kind"] == "TraceFormatError"
+
+        manifest = json.load(open(os.path.join(d, MANIFEST_NAME)))
+        assert manifest["status"] == "complete"
+        assert manifest["ok"] == 1 and manifest["failed"] == 1
+        assert manifest["failures"][0]["run_id"] == "bad"
+
+    def test_fresh_run_clears_stale_checkpoint(self, tmp_path):
+        d = str(tmp_path / "camp")
+        _inline(campaign_dir=d).run([_spec("a")])
+        _inline(campaign_dir=d).run([_spec("b")])  # no resume: start over
+        entries = [
+            json.loads(line)
+            for line in open(os.path.join(d, CHECKPOINT_NAME))
+        ]
+        assert [entry["run_id"] for entry in entries] == ["b"]
+
+
+class TestResume:
+    def _counting_specs(self, counter):
+        """Specs whose trace factories count invocations (inline only)."""
+
+        def factory_for(run_id):
+            def factory():
+                counter[run_id] = counter.get(run_id, 0) + 1
+                return itertools.islice(
+                    get_workload("health", seed=1), INSTRUCTIONS + 5_000
+                )
+
+            return factory
+
+        return [_spec(run_id, trace=factory_for(run_id)) for run_id in "abc"]
+
+    def test_interrupt_then_resume_skips_completed(self, tmp_path):
+        d = str(tmp_path / "camp")
+        executed = {}
+        baseline_counter = {}
+        uninterrupted = _inline(campaign_dir=str(tmp_path / "ref")).run(
+            self._counting_specs(baseline_counter)
+        )
+
+        def interrupt_after_first(outcome):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            _inline(
+                campaign_dir=d, on_outcome=interrupt_after_first
+            ).run(self._counting_specs(executed))
+        assert executed == {"a": 1}
+
+        manifest = json.load(open(os.path.join(d, MANIFEST_NAME)))
+        assert manifest["status"] == "interrupted"
+
+        resumed = _inline(campaign_dir=d, resume=True).run(
+            self._counting_specs(executed)
+        )
+        assert executed == {"a": 1, "b": 1, "c": 1}  # a was NOT re-run
+        assert resumed.resumed == ["a"]
+        assert {
+            run_id: result.ipc for run_id, result in resumed.results.items()
+        } == {
+            run_id: result.ipc
+            for run_id, result in uninterrupted.results.items()
+        }
+        assert json.load(open(os.path.join(d, MANIFEST_NAME)))[
+            "resumed_from_checkpoint"
+        ] == 1
+
+    def test_changed_spec_invalidates_checkpoint(self, tmp_path):
+        d = str(tmp_path / "camp")
+        _inline(campaign_dir=d).run([_spec("a")])
+        changed = _spec("a", instructions=INSTRUCTIONS + 500)
+        campaign = _inline(campaign_dir=d, resume=True).run([changed])
+        assert campaign.resumed == []  # fingerprint mismatch: re-ran
+
+    def test_resumed_failures_are_not_retried(self, tmp_path):
+        d = str(tmp_path / "camp")
+        spec = _spec("bad", faults=FaultSpec(corrupt_at=5))
+        _inline(campaign_dir=d).run([spec])
+        campaign = _inline(campaign_dir=d, resume=True).run([spec])
+        assert campaign.resumed == ["bad"]
+        assert campaign.failures["bad"].error_kind == "TraceFormatError"
+
+
+class TestProcessFallback:
+    def test_unpicklable_trace_runs_inline(self):
+        generator = get_workload("health", seed=1)
+        spec = _spec("lambda-point", trace=lambda: generator)
+        runner = CampaignRunner(isolation="process")  # cannot pickle a lambda
+        result = runner.run_one(spec)
+        assert result.instructions > 0
+
+
+class TestSweepOnRunner:
+    def test_run_configs_unchanged_semantics(self):
+        def factory():
+            return itertools.islice(get_workload("health", seed=1), 10_000)
+
+        results = run_configs(
+            {"Base": baseline_config()}, factory,
+            max_instructions=INSTRUCTIONS, warmup_instructions=WARMUP,
+        )
+        direct = simulate(
+            baseline_config(), factory(),
+            max_instructions=INSTRUCTIONS, warmup_instructions=WARMUP,
+        )
+        assert results["Base"].ipc == direct.ipc
+
+    def test_run_configs_fail_fast_by_default(self):
+        def broken():
+            raise RuntimeError("boom")
+
+        with pytest.raises(SimulationError):
+            run_configs(
+                {"Base": baseline_config()}, broken,
+                max_instructions=INSTRUCTIONS,
+            )
+
+    def test_cache_sweep_with_resilient_runner_skips_failures(self, tmp_path):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] == 2:  # fail the second geometry only
+                raise RuntimeError("boom")
+            return itertools.islice(get_workload("health", seed=1), 10_000)
+
+        runner = _inline(campaign_dir=str(tmp_path / "camp"), on_error="skip")
+        results = cache_sweep(
+            baseline_config(), flaky,
+            max_instructions=INSTRUCTIONS, warmup_instructions=WARMUP,
+            runner=runner,
+        )
+        assert len(results) == 2  # the failed geometry is absent
+        manifest = json.load(
+            open(os.path.join(str(tmp_path / "camp"), MANIFEST_NAME))
+        )
+        assert manifest["failed"] == 1

@@ -1,0 +1,177 @@
+"""End-to-end campaign tests under real process isolation.
+
+These spawn worker processes and (in the acceptance test) wait out a
+real wall-clock timeout, so the long ones carry the ``slow`` marker:
+deselect locally with ``-m "not slow"``.
+"""
+
+import itertools
+import json
+import os
+
+import pytest
+
+from repro.runner import (
+    CHECKPOINT_NAME,
+    MANIFEST_NAME,
+    CampaignRunner,
+    FaultSpec,
+    RunSpec,
+    TraceFileSpec,
+    WorkloadSpec,
+    corrupt_trace_file,
+)
+from repro.sim import baseline_config, psb_config, stride_config
+from repro.trace.io import save_trace
+from repro.workloads import get_workload
+
+INSTRUCTIONS = 1_000
+WARMUP = 200
+
+
+def _workload_spec(run_id, config, faults=None):
+    return RunSpec(
+        run_id=run_id,
+        config=config,
+        trace=WorkloadSpec("health", seed=1),
+        max_instructions=INSTRUCTIONS,
+        warmup_instructions=WARMUP,
+        faults=faults,
+    )
+
+
+def _campaign_specs(tmp_path):
+    """Three healthy points plus a crash, a hang, and a corrupt trace."""
+    trace_path = str(tmp_path / "corrupt.trace")
+    save_trace(
+        trace_path,
+        itertools.islice(get_workload("health", seed=1), INSTRUCTIONS + 200),
+    )
+    corrupt_trace_file(trace_path, line_number=400)
+    return [
+        _workload_spec("health/base", baseline_config()),
+        _workload_spec("health/stride", stride_config()),
+        _workload_spec(
+            "health/crash", baseline_config(), faults=FaultSpec(crash_at=100)
+        ),
+        _workload_spec(
+            "health/hang", baseline_config(),
+            faults=FaultSpec(hang_at=100, hang_seconds=60.0),
+        ),
+        RunSpec(
+            run_id="health/corrupt",
+            config=baseline_config(),
+            trace=TraceFileSpec(trace_path),
+            max_instructions=INSTRUCTIONS,
+            warmup_instructions=WARMUP,
+        ),
+        _workload_spec("health/psb", psb_config()),
+    ]
+
+
+def test_process_isolation_matches_inline_result(tmp_path):
+    spec = _workload_spec("health/base", baseline_config())
+    inline = CampaignRunner(isolation="inline").run_one(spec)
+    isolated = CampaignRunner(isolation="process").run_one(spec)
+    assert isolated.ipc == inline.ipc
+    assert isolated.cycles == inline.cycles
+
+
+@pytest.mark.slow
+def test_acceptance_faulted_campaign_completes_and_resumes(tmp_path):
+    """The ISSUE acceptance campaign.
+
+    A sweep with an injected crash, an injected hang (caught by the
+    timeout), and a genuinely corrupt trace record must (1) complete
+    every remaining point, (2) record the three failures in the
+    manifest, and (3) after a simulated interrupt, resume from the
+    checkpoint without re-running completed points and with identical
+    results to an uninterrupted run.
+    """
+    specs = _campaign_specs(tmp_path)
+
+    def runner(campaign_dir, **kwargs):
+        return CampaignRunner(
+            campaign_dir,
+            timeout=2.5,
+            retries=0,
+            on_error="skip",
+            isolation="process",
+            **kwargs,
+        )
+
+    # --- uninterrupted reference run --------------------------------
+    ref_dir = str(tmp_path / "reference")
+    reference = runner(ref_dir).run(specs)
+    assert set(reference.results) == {
+        "health/base", "health/stride", "health/psb",
+    }
+    failure_kinds = {
+        run_id: outcome.error_kind
+        for run_id, outcome in reference.failures.items()
+    }
+    assert failure_kinds == {
+        "health/crash": "SimulationError",
+        "health/hang": "RunTimeoutError",
+        "health/corrupt": "TraceFormatError",
+    }
+    manifest = json.load(open(os.path.join(ref_dir, MANIFEST_NAME)))
+    assert manifest["status"] == "complete"
+    assert manifest["ok"] == 3 and manifest["failed"] == 3
+    assert {f["run_id"]: f["kind"] for f in manifest["failures"]} == failure_kinds
+
+    # --- interrupted run: die after three terminal outcomes ----------
+    camp_dir = str(tmp_path / "campaign")
+    seen = []
+
+    def interrupt_after_three(outcome):
+        seen.append(outcome.run_id)
+        if len(seen) == 3:
+            raise KeyboardInterrupt
+
+    with pytest.raises(KeyboardInterrupt):
+        runner(camp_dir, on_outcome=interrupt_after_three).run(specs)
+    assert json.load(open(os.path.join(camp_dir, MANIFEST_NAME)))[
+        "status"
+    ] == "interrupted"
+
+    # --- resume: completed points skipped, results identical ---------
+    resumed = runner(camp_dir, resume=True).run(specs)
+    assert resumed.resumed == seen  # exactly the pre-interrupt points
+    checkpoint_lines = [
+        line
+        for line in open(os.path.join(camp_dir, CHECKPOINT_NAME))
+        if line.strip()
+    ]
+    assert len(checkpoint_lines) == len(specs)  # no point ran twice
+
+    assert {
+        run_id: (result.ipc, result.cycles)
+        for run_id, result in resumed.results.items()
+    } == {
+        run_id: (result.ipc, result.cycles)
+        for run_id, result in reference.results.items()
+    }
+    assert {
+        run_id: outcome.error_kind
+        for run_id, outcome in resumed.failures.items()
+    } == failure_kinds
+    final_manifest = json.load(open(os.path.join(camp_dir, MANIFEST_NAME)))
+    assert final_manifest["status"] == "complete"
+    assert final_manifest["failed"] == 3
+
+
+@pytest.mark.slow
+def test_timeout_kills_hung_worker_and_campaign_continues(tmp_path):
+    specs = [
+        _workload_spec(
+            "hang", baseline_config(),
+            faults=FaultSpec(hang_at=50, hang_seconds=60.0),
+        ),
+        _workload_spec("after", baseline_config()),
+    ]
+    campaign = CampaignRunner(
+        str(tmp_path / "camp"), timeout=2.0, retries=0, isolation="process"
+    ).run(specs)
+    assert campaign.failures["hang"].error_kind == "RunTimeoutError"
+    assert "after" in campaign.results  # the campaign outlived the hang

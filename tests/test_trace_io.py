@@ -83,6 +83,59 @@ class TestErrors:
         assert len(records) == 1
         assert records[0].kind == InstrKind.IALU
 
+    def test_error_carries_line_number_and_text(self):
+        buffer = io.StringIO("# repro-trace v1\nA 1000 0 0\nZ zz zz\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            list(load_trace(buffer))
+        assert excinfo.value.line_number == 3
+        assert excinfo.value.line == "Z zz zz"
+
+    def test_error_is_part_of_the_taxonomy(self):
+        from repro.errors import ReproError, TraceFormatError as canonical
+
+        assert TraceFormatError is canonical
+        assert issubclass(TraceFormatError, ReproError)
+        assert issubclass(TraceFormatError, ValueError)
+
+    def test_missing_file_raises_trace_format_error(self):
+        with pytest.raises(TraceFormatError):
+            list(load_trace("/nonexistent/path.trace"))
+
+
+class TestNonStrictMode:
+    _TEXT = (
+        "# repro-trace v1\n"
+        "A 1000 0 0\n"
+        "Z broken one\n"
+        "\n"
+        "# a comment\n"
+        "L 1004 8000 0 0\n"
+        "L nothex 8000 0 0\n"
+        "B 1008 1 0 0\n"
+    )
+
+    def test_skips_and_counts_bad_records(self):
+        errors = []
+        records = load_trace_list(
+            io.StringIO(self._TEXT), strict=False, errors=errors
+        )
+        assert len(records) == 3
+        assert len(errors) == 2
+        assert [e.line_number for e in errors] == [3, 7]
+        assert errors[0].line == "Z broken one"
+
+    def test_skipping_without_collecting_errors(self):
+        records = load_trace_list(io.StringIO(self._TEXT), strict=False)
+        assert len(records) == 3
+
+    def test_strict_default_still_raises(self):
+        with pytest.raises(TraceFormatError):
+            load_trace_list(io.StringIO(self._TEXT))
+
+    def test_bad_header_raises_even_when_lenient(self):
+        with pytest.raises(TraceFormatError):
+            load_trace_list(io.StringIO("garbage\nA 1000 0 0\n"), strict=False)
+
 
 class TestSimulationOnLoadedTrace:
     def test_loaded_trace_simulates_identically(self, tmp_path):

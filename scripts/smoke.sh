@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Smoke check: tier-1 tests plus one tiny end-to-end fault-injected
-# campaign (crash + hang + checkpointed resume) through the real CLI
-# entry points.  Exits non-zero on the first problem.
+# Smoke check: tier-1 tests, an invariant-checked simulation, a
+# golden-model differential check, and one tiny end-to-end
+# fault-injected campaign (crash + hang + checkpointed resume) through
+# the real CLI entry points.  Exits non-zero on the first problem.
 #
 # Usage: scripts/smoke.sh [extra pytest args...]
 set -euo pipefail
@@ -11,6 +12,15 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-1 tests (slow campaign tests excluded) =="
 python -m pytest -x -q -m "not slow" "$@"
+
+echo
+echo "== full invariant checking on the PSB machine =="
+python -m repro run health --machine psb --instructions 5000 \
+    --invariants full
+
+echo
+echo "== golden-model differential check =="
+python -m repro check health --machine psb --instructions 5000
 
 echo
 echo "== end-to-end campaign with fault injection =="

@@ -4,9 +4,12 @@ Usage (also available as ``python -m repro``)::
 
     repro-sim workloads
     repro-sim run health --machine psb --instructions 50000
+    repro-sim run health --invariants full
     repro-sim compare health --instructions 50000
     repro-sim trace burg --out burg.trace --instructions 20000
-    repro-sim sweep health --campaign-dir camp --timeout 120 --retries 1
+    repro-sim check health --machine psb --instructions 20000
+    repro-sim sweep health --campaign-dir camp --timeout 120 --retries 1 \
+        --snapshot-every 50000
 
 Exit status: 0 on success, 1 on any :class:`~repro.errors.ReproError`
 (printed as a one-line message, never a traceback), 130 on Ctrl-C.
@@ -19,7 +22,7 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.analysis.report import ascii_table
-from repro.config import SimConfig
+from repro.config import InvariantLevel, SimConfig
 from repro.errors import ConfigError, ReproError
 from repro.sim import baseline_config, paper_configs, simulate
 from repro.sim.presets import (
@@ -59,10 +62,19 @@ def _build_parser() -> argparse.ArgumentParser:
     commands.add_parser("workloads", help="list the benchmark stand-ins")
 
     run = commands.add_parser("run", help="simulate one machine")
-    _add_run_arguments(run)
+    _add_run_arguments(run, optional_workload=True)
     run.add_argument(
         "--machine", choices=sorted(MACHINES), default="psb",
         help="which machine to simulate (default: psb)",
+    )
+    run.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="simulate a saved trace file instead of a workload",
+    )
+    run.add_argument(
+        "--lax", action="store_true",
+        help="with --trace: skip malformed records instead of failing "
+             "(the skipped count is reported in the summary)",
     )
 
     compare = commands.add_parser(
@@ -124,21 +136,76 @@ def _build_parser() -> argparse.ArgumentParser:
              "(faster, but a crash aborts the campaign and --timeout "
              "is unavailable)",
     )
+    sweep.add_argument(
+        "--snapshot-every", type=int, default=None, metavar="CYCLES",
+        help="snapshot each run every CYCLES cycles so a timed-out "
+             "attempt resumes mid-run instead of restarting "
+             "(requires --campaign-dir)",
+    )
+    sweep.add_argument(
+        "--golden", action="store_true",
+        help="diff every completed point against the golden functional "
+             "model (requires --warmup 0)",
+    )
+
+    check = commands.add_parser(
+        "check",
+        help="validate a machine against the golden functional model",
+        description=(
+            "Run one machine with full invariant checking and no warm-up, "
+            "replay the same trace through the obviously-correct "
+            "functional cache model, and diff the two through the "
+            "conservation laws.  Exit status 1 if any law is violated."
+        ),
+    )
+    _add_run_arguments(check)
+    check.add_argument(
+        "--machine", choices=sorted(MACHINES), default="psb",
+        help="which machine to validate (default: psb)",
+    )
+    check.add_argument(
+        "--tolerance", type=float, default=None, metavar="RATE",
+        help="allowed |timed - golden| primary miss-rate gap "
+             "(default: 0.05)",
+    )
     return parser
 
 
-def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("workload", choices=workload_names())
+def _add_run_arguments(
+    parser: argparse.ArgumentParser, optional_workload: bool = False
+) -> None:
+    if optional_workload:
+        parser.add_argument("workload", choices=workload_names(), nargs="?")
+    else:
+        parser.add_argument("workload", choices=workload_names())
     parser.add_argument("--instructions", type=int, default=50_000)
     parser.add_argument("--warmup", type=int, default=None,
                         help="default: instructions // 3")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--invariants", choices=("off", "cheap", "full"), default="off",
+        help="runtime invariant checking level: 'cheap' samples the "
+             "hook points, 'full' checks every cycle (default: off)",
+    )
 
 
 def _warmup_of(args: argparse.Namespace) -> int:
     if args.warmup is not None:
         return args.warmup
     return args.instructions // 3
+
+
+def _apply_invariants(args: argparse.Namespace, config: SimConfig) -> SimConfig:
+    """Apply the ``--invariants`` level to a machine config."""
+    level = InvariantLevel(args.invariants)
+    if level is InvariantLevel.OFF:
+        return config
+    return config.with_invariants(level)
+
+
+def _config_of(args: argparse.Namespace, machine: str) -> SimConfig:
+    """Build the machine config with the requested invariant level."""
+    return _apply_invariants(args, MACHINES[machine]())
 
 
 def _command_workloads() -> int:
@@ -150,10 +217,30 @@ def _command_workloads() -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    config = MACHINES[args.machine]()
+    if args.trace is None and args.workload is None:
+        raise ConfigError(
+            "run: give a workload name or --trace PATH",
+            field="run.workload",
+        )
+    if args.lax and args.trace is None:
+        raise ConfigError(
+            "run: --lax only applies to --trace (generated workloads "
+            "cannot contain malformed records)",
+            field="run.lax",
+        )
+    config = _config_of(args, args.machine)
+    skipped: list = []
+    if args.trace is not None:
+        from repro.trace.io import load_trace
+
+        records = load_trace(args.trace, strict=not args.lax, errors=skipped)
+        source_name = args.trace
+    else:
+        records = get_workload(args.workload, seed=args.seed)
+        source_name = args.workload
     result = simulate(
         config,
-        get_workload(args.workload, seed=args.seed),
+        records,
         max_instructions=args.instructions,
         warmup_instructions=_warmup_of(args),
         label=args.machine,
@@ -169,19 +256,31 @@ def _command_run(args: argparse.Namespace) -> int:
         ["prefetches issued", f"{result.prefetches_issued}"],
         ["prefetch accuracy", f"{result.prefetch_accuracy * 100:.1f}%"],
     ]
+    if args.invariants != "off":
+        rows.append(
+            ["invariant checks",
+             f"{int(result.extra.get('invariant_checks', 0))} ({args.invariants})"]
+        )
+    if args.lax:
+        rows.append(["trace records skipped", str(len(skipped))])
     print(
         ascii_table(
             ["statistic", "value"], rows,
-            title=f"{args.workload} on '{args.machine}'",
+            title=f"{source_name} on '{args.machine}'",
         )
     )
+    if skipped:
+        print(
+            f"warning: skipped {len(skipped)} malformed trace record(s) "
+            "(--lax)", file=sys.stderr,
+        )
     return 0
 
 
 def _command_compare(args: argparse.Namespace) -> int:
     warmup = _warmup_of(args)
     base = simulate(
-        baseline_config(),
+        _apply_invariants(args, baseline_config()),
         get_workload(args.workload, seed=args.seed),
         max_instructions=args.instructions,
         warmup_instructions=warmup,
@@ -190,7 +289,7 @@ def _command_compare(args: argparse.Namespace) -> int:
     rows = [["Base", f"{base.ipc:.3f}", "-", "-"]]
     for label, config in paper_configs().items():
         result = simulate(
-            config,
+            _apply_invariants(args, config),
             get_workload(args.workload, seed=args.seed),
             max_instructions=args.instructions,
             warmup_instructions=warmup,
@@ -223,7 +322,7 @@ def _command_report(args: argparse.Namespace) -> int:
         paper_configs().items()
     ):
         results[label] = simulate(
-            config,
+            _apply_invariants(args, config),
             get_workload(args.workload, seed=args.seed),
             max_instructions=args.instructions,
             warmup_instructions=warmup,
@@ -246,9 +345,48 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_check(args: argparse.Namespace) -> int:
+    from repro.integrity import golden_check, run_golden
+
+    if args.warmup not in (None, 0):
+        raise ConfigError(
+            "check: golden-model validation requires --warmup 0 (a "
+            "warm-up reset discards events the golden model counts)",
+            field="check.warmup",
+        )
+    config = _config_of(args, args.machine)
+    label = f"{args.workload}:{args.machine}"
+    result = simulate(
+        config,
+        get_workload(args.workload, seed=args.seed),
+        max_instructions=args.instructions,
+        warmup_instructions=0,
+        label=label,
+    )
+    golden = run_golden(
+        config,
+        get_workload(args.workload, seed=args.seed),
+        max_instructions=args.instructions,
+    )
+    if args.tolerance is not None:
+        report = golden_check(result, golden, miss_rate_tolerance=args.tolerance)
+    else:
+        report = golden_check(result, golden)
+    print(report.summary())
+    for violation in report.violations:
+        print(f"  violated: {violation}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
     from repro.runner import CampaignRunner, RunSpec, WorkloadSpec
 
+    if args.golden and _warmup_of(args) != 0:
+        raise ConfigError(
+            "sweep: --golden requires --warmup 0 (a warm-up reset "
+            "discards events the golden model counts)",
+            field="sweep.golden",
+        )
     if args.machines == "all":
         machines = sorted(MACHINES)
     else:
@@ -266,10 +404,11 @@ def _command_sweep(args: argparse.Namespace) -> int:
     specs = [
         RunSpec(
             run_id=f"{args.workload}/{name}",
-            config=MACHINES[name](),
+            config=_config_of(args, name),
             trace=WorkloadSpec(args.workload, seed=args.seed),
             max_instructions=args.instructions,
             warmup_instructions=_warmup_of(args),
+            golden_check=args.golden,
         )
         for name in machines
     ]
@@ -280,6 +419,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         on_error=args.on_error,
         isolation="inline" if args.no_isolate else "process",
         resume=args.resume,
+        snapshot_every=args.snapshot_every,
     )
     campaign = runner.run(specs)
 
@@ -319,6 +459,18 @@ def _command_sweep(args: argparse.Namespace) -> int:
     )
     for outcome in campaign.failures.values():
         print(f"  {outcome.run_id}: {outcome.error_message}")
+    skipped = {
+        run_id: int(result.extra.get("trace_records_skipped", 0))
+        for run_id, result in campaign.results.items()
+        if result.extra.get("trace_records_skipped")
+    }
+    if skipped:
+        total = sum(skipped.values())
+        print(
+            f"warning: {total} malformed trace record(s) skipped "
+            f"({', '.join(f'{k}: {v}' for k, v in sorted(skipped.items()))})",
+            file=sys.stderr,
+        )
     if args.campaign_dir:
         print(f"campaign state in {args.campaign_dir}")
     return 0
@@ -335,6 +487,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _command_trace(args)
     if args.command == "report":
         return _command_report(args)
+    if args.command == "check":
+        return _command_check(args)
     if args.command == "sweep":
         return _command_sweep(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -47,6 +47,21 @@ class PrefetcherKind(Enum):
     DEMAND_MARKOV = "demand-markov"  # Joseph & Grunwald Markov prefetcher
 
 
+class InvariantLevel(Enum):
+    """How aggressively the integrity layer checks runtime invariants.
+
+    ``OFF`` disables checking entirely (zero overhead).  ``CHEAP``
+    samples the hook points every ``SimConfig.invariant_sample_period``
+    events, catching persistent corruption at a few percent overhead.
+    ``FULL`` checks every hook invocation — the validation mode used by
+    the smoke suite and the acceptance tests.
+    """
+
+    OFF = "off"
+    CHEAP = "cheap"
+    FULL = "full"
+
+
 class AllocationPolicy(Enum):
     """Stream-buffer allocation filter (Section 4.3)."""
 
@@ -342,6 +357,27 @@ class SimConfig:
     l2_pipeline_depth: int = 3
     warmup_instructions: int = 0
     max_cycles: Optional[int] = None
+    #: Runtime invariant checking level (see :class:`InvariantLevel`).
+    invariants: InvariantLevel = InvariantLevel.OFF
+    #: Under ``CHEAP`` checking, hook points fire once every this many
+    #: events (cycles, misses, or prefetches respectively).
+    invariant_sample_period: int = 64
+
+    def __post_init__(self) -> None:
+        _require(
+            self.invariant_sample_period > 0,
+            "SimConfig", "invariant_sample_period", "must be positive",
+        )
+
+    def with_invariants(
+        self, level: InvariantLevel, sample_period: Optional[int] = None
+    ) -> "SimConfig":
+        """Return a copy of this config with invariant checking ``level``."""
+        if sample_period is None:
+            return replace(self, invariants=level)
+        return replace(
+            self, invariants=level, invariant_sample_period=sample_period
+        )
 
     def with_prefetcher(self, prefetch: PrefetchConfig) -> "SimConfig":
         """Return a copy of this config using ``prefetch``."""

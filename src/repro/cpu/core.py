@@ -65,6 +65,89 @@ class _Instr:
         self.forward_from: Optional[int] = None  # store seq feeding this load
 
 
+class _RunState:
+    """All mutable state of one in-progress simulation run.
+
+    Everything the main loop needs lives here (not in locals of a
+    monolithic ``run``) so a run can be paused between cycles, pickled
+    into a snapshot, and resumed bit-identically.  Holds plain data
+    only — callbacks stay parameters of :meth:`OutOfOrderCore.advance`
+    so the state never captures unpicklable closures.
+    """
+
+    __slots__ = (
+        "max_instructions",
+        "warmup_instructions",
+        "rob",
+        "rob_head",
+        "alive",
+        "completions",
+        "ready",
+        "lsq_occupancy",
+        "seq",
+        "fetched",
+        "retired",
+        "cycle",
+        "trace_done",
+        "pending_record",
+        "stall_branch",
+        "last_retire_cycle",
+        "warmup_cycle",
+        "warmup_retired",
+        "warmup_pending",
+        "loads",
+        "stores",
+        "branches",
+        "forwarded",
+        "finished",
+    )
+
+    def __init__(
+        self, max_instructions: Optional[int], warmup_instructions: int
+    ) -> None:
+        self.max_instructions = max_instructions
+        self.warmup_instructions = warmup_instructions
+        self.rob: List[Optional[_Instr]] = []  # deque via head index
+        self.rob_head = 0
+        self.alive: Dict[int, _Instr] = {}
+        self.completions: List[tuple] = []
+        self.ready: List[_Instr] = []
+        self.lsq_occupancy = 0
+        self.seq = 0
+        self.fetched = 0
+        self.retired = 0
+        self.cycle = 0
+        self.trace_done = False
+        self.pending_record: Optional[TraceRecord] = None
+        self.stall_branch: Optional[_Instr] = None
+        self.last_retire_cycle = 0
+        self.warmup_cycle = 0
+        self.warmup_retired = 0
+        self.warmup_pending = warmup_instructions > 0
+        self.loads = 0
+        self.stores = 0
+        self.branches = 0
+        self.forwarded = 0
+        self.finished = False
+
+    @property
+    def records_consumed(self) -> int:
+        """How many records have been pulled off the trace iterator.
+
+        Every consumed record was either dispatched (``fetched``) or is
+        parked in ``pending_record``; a resumed run skips exactly this
+        many records of a freshly built trace to land where it left off.
+        """
+        return self.fetched + (1 if self.pending_record is not None else 0)
+
+    def __getstate__(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            setattr(self, name, value)
+
+
 class CoreStats:
     """Post-warm-up statistics for one simulation."""
 
@@ -124,178 +207,252 @@ class OutOfOrderCore:
         point ``on_warmup_end`` (if given) is invoked so callers can reset
         prefetcher/hierarchy statistics too.
         """
-        source: Iterator[TraceRecord] = iter(trace)
+        state = self.begin_run(max_instructions, warmup_instructions)
+        self.advance(iter(trace), state, on_warmup_end=on_warmup_end)
+        return self.finish_run(state)
+
+    def begin_run(
+        self,
+        max_instructions: Optional[int] = None,
+        warmup_instructions: int = 0,
+    ) -> _RunState:
+        """Create the state for a new run, ready for :meth:`advance`."""
+        return _RunState(max_instructions, warmup_instructions)
+
+    def advance(
+        self,
+        source: Iterator[TraceRecord],
+        state: _RunState,
+        on_warmup_end: Optional[Callable[[], None]] = None,
+        stop_cycle: Optional[int] = None,
+    ) -> bool:
+        """Simulate until the trace drains or ``state.cycle`` reaches
+        ``stop_cycle`` (a cycle *boundary*: that cycle has not started).
+
+        Returns True once the run is finished.  Between calls the entire
+        run lives in ``state``, so callers may snapshot it, run
+        invariant checks, or simply call again to continue — an
+        interrupted sequence of ``advance`` calls is cycle-for-cycle
+        identical to one uninterrupted call.
+        """
+        if state.finished:
+            return True
         config = self.config
         hierarchy = self.hierarchy
         prefetcher = hierarchy.prefetcher
-        rob: List[_Instr] = []  # used as a deque via head index
-        rob_head = 0
-        alive: Dict[int, _Instr] = {}
-        completions: List[tuple] = []
-        ready: List[_Instr] = []
-        lsq_occupancy = 0
-        seq = 0
-        fetched = 0
-        retired = 0
-        cycle = 0
-        trace_done = False
-        pending_record: Optional[TraceRecord] = None
-        stall_branch: Optional[_Instr] = None
-        last_retire_cycle = 0
-        warmup_cycle = 0
-        warmup_retired = 0
-        warmup_pending = warmup_instructions > 0
-        loads = stores = branches = forwarded = 0
+        # The loop body reads/writes locals (hot path); state fields are
+        # synced at entry and, via ``finally``, at every exit.
+        rob = state.rob
+        rob_head = state.rob_head
+        alive = state.alive
+        completions = state.completions
+        ready = state.ready
+        lsq_occupancy = state.lsq_occupancy
+        seq = state.seq
+        fetched = state.fetched
+        retired = state.retired
+        cycle = state.cycle
+        trace_done = state.trace_done
+        pending_record = state.pending_record
+        stall_branch = state.stall_branch
+        last_retire_cycle = state.last_retire_cycle
+        warmup_pending = state.warmup_pending
+        loads = state.loads
+        stores = state.stores
+        branches = state.branches
+        forwarded = state.forwarded
+        max_instructions = state.max_instructions
+        warmup_instructions = state.warmup_instructions
+        finished = False
 
         def rob_size() -> int:
             return len(rob) - rob_head
 
-        while True:
-            self.funits.new_cycle(cycle)
+        try:
+            while True:
+                if stop_cycle is not None and cycle >= stop_cycle:
+                    break
+                self.funits.new_cycle(cycle)
 
-            # ---- complete ------------------------------------------------
-            while completions and completions[0][0] <= cycle:
-                __, __, instr = heapq.heappop(completions)
-                instr.completed = True
-                for dependent in instr.dependents:
-                    dependent.pending_deps -= 1
-                    if dependent.pending_deps == 0 and not dependent.issued:
-                        ready.append(dependent)
-                instr.dependents = []
+                # ---- complete --------------------------------------------
+                while completions and completions[0][0] <= cycle:
+                    __, __, instr = heapq.heappop(completions)
+                    instr.completed = True
+                    for dependent in instr.dependents:
+                        dependent.pending_deps -= 1
+                        if dependent.pending_deps == 0 and not dependent.issued:
+                            ready.append(dependent)
+                    instr.dependents = []
 
-            # ---- retire --------------------------------------------------
-            retired_this_cycle = 0
-            while (
-                rob_head < len(rob)
-                and rob[rob_head].completed
-                and retired_this_cycle < config.retire_width
-            ):
-                instr = rob[rob_head]
-                rob[rob_head] = None  # free the reference
-                rob_head += 1
-                retired_this_cycle += 1
-                retired += 1
-                last_retire_cycle = cycle
-                alive.pop(instr.seq, None)
-                if instr.kind == InstrKind.LOAD:
-                    loads += 1
-                    lsq_occupancy -= 1
-                elif instr.kind == InstrKind.STORE:
-                    stores += 1
-                    lsq_occupancy -= 1
-                    self.store_tracker.note_store_retired(instr.seq, instr.addr)
-                elif instr.kind == InstrKind.BRANCH:
-                    branches += 1
-                if warmup_pending and retired >= warmup_instructions:
-                    warmup_pending = False
-                    warmup_cycle = cycle
-                    warmup_retired = retired
-                    loads = stores = branches = forwarded = 0
-                    self.stats.load_latency.reset()
-                    self.branch_predictor.reset_stats()
-                    self.store_tracker.reset_stats()
-                    if on_warmup_end is not None:
-                        on_warmup_end()
-            if rob_head > 4096 and rob_head == len(rob):
-                rob = []
-                rob_head = 0
-
-            # ---- fetch / dispatch ---------------------------------------
-            if stall_branch is not None:
-                if (
-                    stall_branch.complete_cycle >= 0
-                    and cycle >= stall_branch.complete_cycle + config.mispredict_penalty
+                # ---- retire ----------------------------------------------
+                retired_this_cycle = 0
+                while (
+                    rob_head < len(rob)
+                    and rob[rob_head].completed
+                    and retired_this_cycle < config.retire_width
                 ):
-                    stall_branch = None
-            if stall_branch is None and not trace_done:
-                branches_this_cycle = 0
-                for __ in range(config.fetch_width):
-                    if rob_size() >= config.rob_entries:
-                        break
-                    if max_instructions is not None and fetched >= max_instructions:
-                        trace_done = True
-                        break
-                    if pending_record is not None:
-                        record = pending_record
-                        pending_record = None
-                    else:
-                        record = next(source, None)
-                        if record is None:
-                            trace_done = True
-                            break
-                    if record.is_memory and lsq_occupancy >= config.lsq_entries:
-                        pending_record = record
-                        break
-                    if record.is_branch:
-                        if branches_this_cycle >= config.branch_predictions_per_cycle:
-                            pending_record = record
-                            break
-                        branches_this_cycle += 1
-
-                    instr = _Instr(seq, record)
-                    alive[seq] = instr
-                    seq += 1
-                    fetched += 1
-                    if record.is_memory:
-                        lsq_occupancy += 1
-
-                    self._register_dependences(instr, record, alive)
-                    if record.is_store:
-                        self.store_tracker.note_store_dispatched(
+                    instr = rob[rob_head]
+                    rob[rob_head] = None  # free the reference
+                    rob_head += 1
+                    retired_this_cycle += 1
+                    retired += 1
+                    last_retire_cycle = cycle
+                    alive.pop(instr.seq, None)
+                    if instr.kind == InstrKind.LOAD:
+                        loads += 1
+                        lsq_occupancy -= 1
+                    elif instr.kind == InstrKind.STORE:
+                        stores += 1
+                        lsq_occupancy -= 1
+                        self.store_tracker.note_store_retired(
                             instr.seq, instr.addr
                         )
-                    rob.append(instr)
-                    if instr.pending_deps == 0:
-                        ready.append(instr)
-                    if record.is_branch:
-                        correct = self.branch_predictor.update(
-                            record.pc, record.taken
-                        )
-                        if not correct:
-                            stall_branch = instr
-                            break
+                    elif instr.kind == InstrKind.BRANCH:
+                        branches += 1
+                    if warmup_pending and retired >= warmup_instructions:
+                        warmup_pending = False
+                        state.warmup_cycle = cycle
+                        state.warmup_retired = retired
+                        loads = stores = branches = forwarded = 0
+                        self.stats.load_latency.reset()
+                        self.branch_predictor.reset_stats()
+                        self.store_tracker.reset_stats()
+                        if on_warmup_end is not None:
+                            on_warmup_end()
+                if rob_head > 4096 and rob_head == len(rob):
+                    rob = []
+                    rob_head = 0
 
-            # ---- issue ---------------------------------------------------
-            if ready:
-                issued_count = 0
-                still_waiting: List[_Instr] = []
-                for instr in ready:
-                    if issued_count >= config.issue_width or not self.funits.can_issue(
-                        instr.kind
+                # ---- fetch / dispatch ------------------------------------
+                if stall_branch is not None:
+                    if (
+                        stall_branch.complete_cycle >= 0
+                        and cycle
+                        >= stall_branch.complete_cycle + config.mispredict_penalty
                     ):
-                        still_waiting.append(instr)
-                        continue
-                    issued_count += 1
-                    self.funits.issue(instr.kind)
-                    instr.issued = True
-                    complete = self._execute(instr, cycle)
-                    instr.complete_cycle = complete
-                    if instr.kind == InstrKind.LOAD:
-                        self.stats.load_latency.add(complete - cycle)
-                        if instr.forward_from is not None:
-                            forwarded += 1
-                    heapq.heappush(completions, (complete, instr.seq, instr))
-                ready = still_waiting
+                        stall_branch = None
+                if stall_branch is None and not trace_done:
+                    branches_this_cycle = 0
+                    for __ in range(config.fetch_width):
+                        if rob_size() >= config.rob_entries:
+                            break
+                        if (
+                            max_instructions is not None
+                            and fetched >= max_instructions
+                        ):
+                            trace_done = True
+                            break
+                        if pending_record is not None:
+                            record = pending_record
+                            pending_record = None
+                        else:
+                            record = next(source, None)
+                            if record is None:
+                                trace_done = True
+                                break
+                        if record.is_memory and lsq_occupancy >= config.lsq_entries:
+                            pending_record = record
+                            break
+                        if record.is_branch:
+                            if (
+                                branches_this_cycle
+                                >= config.branch_predictions_per_cycle
+                            ):
+                                pending_record = record
+                                break
+                            branches_this_cycle += 1
 
-            # ---- prefetcher gets its cycle -------------------------------
-            prefetcher.tick(cycle)
+                        instr = _Instr(seq, record)
+                        alive[seq] = instr
+                        seq += 1
+                        fetched += 1
+                        if record.is_memory:
+                            lsq_occupancy += 1
 
-            # ---- termination / deadlock ----------------------------------
-            if trace_done and rob_head >= len(rob):
-                break
-            if cycle - last_retire_cycle > _DEADLOCK_CYCLES:
-                raise RuntimeError(
-                    f"core wedged: no retirement since cycle {last_retire_cycle}"
-                )
-            cycle += 1
+                        self._register_dependences(instr, record, alive)
+                        if record.is_store:
+                            self.store_tracker.note_store_dispatched(
+                                instr.seq, instr.addr
+                            )
+                        rob.append(instr)
+                        if instr.pending_deps == 0:
+                            ready.append(instr)
+                        if record.is_branch:
+                            correct = self.branch_predictor.update(
+                                record.pc, record.taken
+                            )
+                            if not correct:
+                                stall_branch = instr
+                                break
 
+                # ---- issue -----------------------------------------------
+                if ready:
+                    issued_count = 0
+                    still_waiting: List[_Instr] = []
+                    for instr in ready:
+                        if (
+                            issued_count >= config.issue_width
+                            or not self.funits.can_issue(instr.kind)
+                        ):
+                            still_waiting.append(instr)
+                            continue
+                        issued_count += 1
+                        self.funits.issue(instr.kind)
+                        instr.issued = True
+                        complete = self._execute(instr, cycle)
+                        instr.complete_cycle = complete
+                        if instr.kind == InstrKind.LOAD:
+                            self.stats.load_latency.add(complete - cycle)
+                            if instr.forward_from is not None:
+                                forwarded += 1
+                        heapq.heappush(completions, (complete, instr.seq, instr))
+                    ready = still_waiting
+
+                # ---- prefetcher gets its cycle ---------------------------
+                prefetcher.tick(cycle)
+
+                # ---- termination / deadlock ------------------------------
+                if trace_done and rob_head >= len(rob):
+                    finished = True
+                    break
+                if cycle - last_retire_cycle > _DEADLOCK_CYCLES:
+                    raise RuntimeError(
+                        f"core wedged: no retirement since cycle "
+                        f"{last_retire_cycle}"
+                    )
+                cycle += 1
+        finally:
+            state.rob = rob
+            state.rob_head = rob_head
+            state.alive = alive
+            state.completions = completions
+            state.ready = ready
+            state.lsq_occupancy = lsq_occupancy
+            state.seq = seq
+            state.fetched = fetched
+            state.retired = retired
+            state.cycle = cycle
+            state.trace_done = trace_done
+            state.pending_record = pending_record
+            state.stall_branch = stall_branch
+            state.last_retire_cycle = last_retire_cycle
+            state.warmup_pending = warmup_pending
+            state.loads = loads
+            state.stores = stores
+            state.branches = branches
+            state.forwarded = forwarded
+            state.finished = finished
+        return finished
+
+    def finish_run(self, state: _RunState) -> CoreStats:
+        """Aggregate a finished (or aborted) run's post-warm-up stats."""
         stats = self.stats
-        stats.cycles = max(1, cycle - warmup_cycle)
-        stats.retired = retired - warmup_retired
-        stats.loads = loads
-        stats.stores = stores
-        stats.branches = branches
-        stats.forwarded_loads = forwarded
+        stats.cycles = max(1, state.cycle - state.warmup_cycle)
+        stats.retired = state.retired - state.warmup_retired
+        stats.loads = state.loads
+        stats.stores = state.stores
+        stats.branches = state.branches
+        stats.forwarded_loads = state.forwarded
         return stats
 
     # ------------------------------------------------------------------

@@ -15,6 +15,12 @@ with a policy instead of a traceback:
   are indistinguishable from the outside.
 - :class:`RunTimeoutError` — a run exceeded its wall-clock budget.
   Retryable: a hang may be load-dependent.
+- :class:`IntegrityError` — the simulator violated one of its own
+  runtime invariants (an MSHR leak, bus over-subscription, a counter
+  escaping its saturation bounds) or disagreed with the golden
+  reference model.  *Never* retryable: the state is provably wrong and
+  re-running the same deterministic simulation reproduces the same
+  corruption; any number it would report is untrustworthy.
 
 The ``retryable`` class attribute drives the campaign runner's
 retry-with-backoff policy; ``exit_code`` drives the CLI.
@@ -90,6 +96,37 @@ class RunTimeoutError(SimulationError):
     """A run exceeded its wall-clock timeout and was killed."""
 
     retryable = True
+
+
+class IntegrityError(ReproError):
+    """The simulation reached a provably inconsistent state.
+
+    ``invariant`` names the violated check (e.g. ``"mshr.balance"``),
+    ``cycle`` is the simulation cycle at which the violation was
+    detected (``None`` for post-run differential checks), and
+    ``state_dump`` is a small JSON-able snapshot of the offending
+    component's state, captured at detection time for post-mortems.
+    """
+
+    retryable = False
+
+    def __init__(
+        self,
+        message: str,
+        invariant: Optional[str] = None,
+        cycle: Optional[int] = None,
+        state_dump: Optional[dict] = None,
+    ) -> None:
+        super().__init__(message)
+        self.invariant = invariant
+        self.cycle = cycle
+        self.state_dump = state_dump if state_dump is not None else {}
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.args[0], self.invariant, self.cycle, self.state_dump),
+        )
 
 
 def error_kind(error: BaseException) -> str:

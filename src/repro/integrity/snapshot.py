@@ -1,0 +1,128 @@
+"""Deterministic mid-run snapshot and resume.
+
+A snapshot captures the *entire* machine — caches, MSHRs, buses, stream
+buffers, predictor tables, the core's in-flight window — plus the run
+bookkeeping (:class:`repro.cpu.core._RunState`), as one pickle taken at
+a cycle boundary.  The trace iterator itself is deliberately **not**
+captured: traces here are deterministic (workload generators seeded, or
+files), so a resume rebuilds the trace from its source and skips the
+``records_consumed`` records the snapshotted run already pulled.  The
+result is bit-identical to an uninterrupted run, which the test suite
+asserts field-for-field.
+
+This extends PR 1's between-runs checkpointing to *within*-run: a
+campaign run killed by a timeout resumes from its last snapshot file
+instead of restarting from instruction zero.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import SimulationError
+from repro.trace.record import TraceRecord
+
+
+class SimSnapshot:
+    """One resumable machine state, pickled at a cycle boundary.
+
+    The machine lives in an opaque ``payload`` blob; :meth:`restore`
+    deserializes a *fresh* object graph on every call, so one snapshot
+    can seed many independent resumes (and resuming never aliases the
+    simulator that produced it).
+    """
+
+    __slots__ = ("payload", "cycle", "records_consumed", "label")
+
+    def __init__(
+        self, payload: bytes, cycle: int, records_consumed: int, label: str
+    ) -> None:
+        self.payload = payload
+        self.cycle = cycle
+        self.records_consumed = records_consumed
+        self.label = label
+
+    @classmethod
+    def capture(cls, simulator, state, label: str = "run") -> "SimSnapshot":
+        """Freeze ``simulator`` + its run ``state`` into a snapshot."""
+        payload = pickle.dumps(
+            (simulator, state), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        return cls(payload, state.cycle, state.records_consumed, label)
+
+    def restore(self):
+        """A fresh ``(simulator, run_state)`` pair from the payload."""
+        return pickle.loads(self.payload)
+
+    def save(self, path: str) -> None:
+        """Write atomically: a reader never sees a torn snapshot."""
+        directory = os.path.dirname(path) or "."
+        os.makedirs(directory, exist_ok=True)
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "wb") as handle:
+            pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+
+    @classmethod
+    def load(cls, path: str) -> "SimSnapshot":
+        with open(path, "rb") as handle:
+            snapshot = pickle.load(handle)
+        if not isinstance(snapshot, cls):
+            raise SimulationError(
+                f"{path!r} does not contain a simulation snapshot"
+            )
+        return snapshot
+
+    def __getstate__(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            setattr(self, name, value)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimSnapshot({self.label!r} @ cycle {self.cycle}, "
+            f"{self.records_consumed} records, "
+            f"{len(self.payload)} bytes)"
+        )
+
+
+def fast_forward(
+    trace: Iterable[TraceRecord], records_consumed: int
+) -> Iterator[TraceRecord]:
+    """Skip the records a snapshotted run already consumed."""
+    return itertools.islice(iter(trace), records_consumed, None)
+
+
+def resume_run(
+    snapshot: SimSnapshot,
+    trace: Iterable[TraceRecord],
+    label: Optional[str] = None,
+    snapshot_every: Optional[int] = None,
+    snapshot_sink=None,
+):
+    """Continue a snapshotted run to completion.
+
+    ``trace`` must be (a fresh instance of) the same deterministic trace
+    the original run consumed; the first ``snapshot.records_consumed``
+    records are skipped.  Returns the same
+    :class:`~repro.sim.results.SimulationResult` an uninterrupted run
+    would, with ``extra["resumed_from_cycle"]`` marking the seam.
+    """
+    simulator, state = snapshot.restore()
+    source = fast_forward(trace, snapshot.records_consumed)
+    result = simulator._drive(
+        state,
+        source,
+        label if label is not None else snapshot.label,
+        snapshot_every=snapshot_every,
+        snapshot_sink=snapshot_sink,
+    )
+    result.extra["resumed_from_cycle"] = float(snapshot.cycle)
+    return result

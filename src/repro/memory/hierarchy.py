@@ -111,6 +111,9 @@ class MemoryHierarchy:
             config.l2_pipeline_depth, config.l2_unified.hit_latency
         )
         self.prefetcher: PrefetcherPort = PrefetcherPort()
+        #: Optional :class:`repro.integrity.InvariantChecker`; when set,
+        #: its per-miss / per-prefetch hooks fire from the access paths.
+        self.integrity = None
         # Pending fills: (ready_cycle, block, dirty) min-heaps.
         self._l1_fills: List[Tuple[int, int, bool]] = []
         self._l2_fills: List[Tuple[int, int, bool]] = []
@@ -216,7 +219,9 @@ class MemoryHierarchy:
             # paper predicts the *miss stream*, i.e. block fetches, and a
             # merge fetches nothing new.
             done = max(self.l1_mshr.merge(block), hit_done)
-            return AccessResult(done, "inflight", True, done - cycle)
+            return self._miss_result(
+                AccessResult(done, "inflight", True, done - cycle), cycle
+            )
 
         sb_ready = self.prefetcher.probe(block, cycle)
         if sb_ready is not None:
@@ -225,7 +230,9 @@ class MemoryHierarchy:
                 self.sb_hits += 1
                 heapq.heappush(self._l1_fills, (hit_done, block, is_store))
                 self._finish_miss(pc, address, cycle, is_store, sb_hit=True)
-                return AccessResult(hit_done, "sb", True, hit_done - cycle)
+                return self._miss_result(
+                    AccessResult(hit_done, "sb", True, hit_done - cycle), cycle
+                )
             # Tag hit on an in-flight prefetch: hand off to an L1 MSHR.
             self.sb_pending_hits += 1
             done = max(sb_ready, hit_done)
@@ -233,7 +240,9 @@ class MemoryHierarchy:
                 self.l1_mshr.allocate(block, done)
             heapq.heappush(self._l1_fills, (done, block, is_store))
             self._finish_miss(pc, address, cycle, is_store, sb_hit=True)
-            return AccessResult(done, "sb-pending", True, done - cycle)
+            return self._miss_result(
+                AccessResult(done, "sb-pending", True, done - cycle), cycle
+            )
 
         # True miss: go to the L2 (and perhaps memory).
         request_cycle = cycle + self.l1.config.hit_latency
@@ -245,7 +254,15 @@ class MemoryHierarchy:
         self.l1_mshr.allocate(block, done)
         heapq.heappush(self._l1_fills, (done, block, is_store))
         self._finish_miss(pc, address, cycle, is_store, sb_hit=False)
-        return AccessResult(done, served, True, done - cycle)
+        return self._miss_result(
+            AccessResult(done, served, True, done - cycle), cycle
+        )
+
+    def _miss_result(self, result: AccessResult, cycle: int) -> AccessResult:
+        """Fire the integrity layer's per-miss hook on the way out."""
+        if self.integrity is not None:
+            self.integrity.on_miss(cycle)
+        return result
 
     def _finish_miss(
         self, pc: int, address: int, cycle: int, is_store: bool, sb_hit: bool
@@ -291,6 +308,8 @@ class MemoryHierarchy:
             physical, tlb_penalty = self.tlb.translate(address)
         self.prefetches_issued += 1
         done, __ = self._fetch_from_l2(physical, cycle + tlb_penalty)
+        if self.integrity is not None:
+            self.integrity.on_prefetch(cycle)
         return done
 
     # ------------------------------------------------------------------

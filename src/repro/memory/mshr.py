@@ -20,6 +20,7 @@ class MshrFile:
         self.num_entries = num_entries
         self._inflight: Dict[int, int] = {}  # block address -> ready cycle
         self.allocations = 0
+        self.releases = 0
         self.merges = 0
         self.full_stalls = 0
 
@@ -58,6 +59,7 @@ class MshrFile:
         done = [blk for blk, ready in self._inflight.items() if ready <= cycle]
         for blk in done:
             del self._inflight[blk]
+        self.releases += len(done)
         return done
 
     def note_full_stall(self) -> None:

@@ -35,8 +35,10 @@ from repro.runner.checkpoint import (
     result_to_dict,
 )
 from repro.runner.faults import (
+    CORRUPT_STATE_TARGETS,
     FaultSpec,
     InjectedCrash,
+    corrupt_simulator_state,
     corrupt_trace_file,
     inject_faults,
 )
@@ -54,8 +56,10 @@ __all__ = [
     "CheckpointStore",
     "result_from_dict",
     "result_to_dict",
+    "CORRUPT_STATE_TARGETS",
     "FaultSpec",
     "InjectedCrash",
+    "corrupt_simulator_state",
     "corrupt_trace_file",
     "inject_faults",
 ]

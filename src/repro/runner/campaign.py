@@ -34,6 +34,7 @@ for that point.
 
 from __future__ import annotations
 
+import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -55,6 +56,7 @@ from typing import (
 from repro.config import SimConfig
 from repro.errors import (
     ConfigError,
+    IntegrityError,
     ReproError,
     RunTimeoutError,
     SimulationError,
@@ -105,12 +107,21 @@ class RunSpec:
     warmup_instructions: int = 0
     #: Deterministic fault schedule (testing/chaos engineering only).
     faults: Optional[FaultSpec] = None
+    #: Replay the trace through the golden functional model after the
+    #: run and raise :class:`~repro.errors.IntegrityError` on
+    #: divergence.  Requires ``warmup_instructions == 0``.
+    golden_check: bool = False
 
     def fingerprint(self) -> str:
-        return spec_fingerprint(
+        parts = [
             self.config, self.trace, self.max_instructions,
             self.warmup_instructions, self.faults,
-        )
+        ]
+        if self.golden_check:
+            # Appended conditionally so fingerprints of plain specs
+            # stay compatible with pre-existing checkpoints.
+            parts.append("golden_check")
+        return spec_fingerprint(*parts)
 
 
 @dataclass
@@ -146,6 +157,8 @@ def _resolve_trace(
     trace: TraceSource,
     faults: Optional[FaultSpec],
     attempt: int,
+    errors: Optional[List] = None,
+    on_corrupt_state: Optional[Callable[[str], None]] = None,
 ) -> Iterable[TraceRecord]:
     # Imported lazily: this module must stay importable from
     # repro.sim.sweep without creating an import cycle through
@@ -159,7 +172,7 @@ def _resolve_trace(
     elif isinstance(trace, TraceFileSpec):
         from repro.trace.io import load_trace
 
-        records = load_trace(trace.path, strict=trace.strict)
+        records = load_trace(trace.path, strict=trace.strict, errors=errors)
     elif callable(trace):
         records = trace()
     else:
@@ -169,27 +182,105 @@ def _resolve_trace(
             field="RunSpec.trace",
         )
     if faults is not None and not faults.is_noop:
-        records = inject_faults(records, faults, attempt=attempt)
+        records = inject_faults(
+            records, faults, attempt=attempt, on_corrupt_state=on_corrupt_state
+        )
     return records
 
 
-def execute_spec(spec: RunSpec, attempt: int = 0) -> SimulationResult:
+def execute_spec(
+    spec: RunSpec,
+    attempt: int = 0,
+    snapshot_every: Optional[int] = None,
+    snapshot_path: Optional[str] = None,
+) -> SimulationResult:
     """Run one campaign point to completion in the current process.
 
     Module-level (not a method) so ``ProcessPoolExecutor`` can pickle it
     into a worker.  Raises taxonomy errors only: the simulator wraps
     unexpected crashes into :class:`~repro.errors.SimulationError`.
-    """
-    from repro.sim.simulator import simulate
 
-    records = _resolve_trace(spec.trace, spec.faults, attempt)
-    return simulate(
-        spec.config,
-        records,
-        max_instructions=spec.max_instructions,
-        warmup_instructions=spec.warmup_instructions,
-        label=spec.run_id,
+    When ``snapshot_path`` names an existing snapshot file the run
+    *resumes* from it instead of starting over (the typical case: a
+    previous attempt timed out mid-run); when ``snapshot_every`` is also
+    set, fresh snapshots keep landing at ``snapshot_path`` as the run
+    progresses, each one atomically replacing the last.
+    """
+    from repro.integrity.snapshot import SimSnapshot, fast_forward
+    from repro.sim.simulator import Simulator
+
+    trace_errors: List = []
+    machine: Dict[str, Any] = {}
+
+    def on_corrupt_state(target: str) -> None:
+        from repro.runner.faults import corrupt_simulator_state
+
+        corrupt_simulator_state(machine["simulator"], target)
+
+    records = _resolve_trace(
+        spec.trace,
+        spec.faults,
+        attempt,
+        errors=trace_errors,
+        on_corrupt_state=on_corrupt_state,
     )
+
+    snapshot_sink = None
+    if snapshot_path is not None and snapshot_every is not None:
+
+        def snapshot_sink(snapshot: "SimSnapshot") -> None:
+            snapshot.save(snapshot_path)
+
+    resumed_cycle: Optional[int] = None
+    if snapshot_path is not None and os.path.exists(snapshot_path):
+        snapshot = SimSnapshot.load(snapshot_path)
+        simulator, state = snapshot.restore()
+        machine["simulator"] = simulator
+        resumed_cycle = snapshot.cycle
+        result = simulator._drive(
+            state,
+            fast_forward(records, snapshot.records_consumed),
+            spec.run_id,
+            snapshot_every=snapshot_every,
+            snapshot_sink=snapshot_sink,
+        )
+    else:
+        simulator = Simulator(spec.config)
+        machine["simulator"] = simulator
+        result = simulator.run(
+            records,
+            max_instructions=spec.max_instructions,
+            warmup_instructions=spec.warmup_instructions,
+            label=spec.run_id,
+            snapshot_every=snapshot_every,
+            snapshot_sink=snapshot_sink,
+        )
+    if resumed_cycle is not None:
+        result.extra["resumed_from_cycle"] = float(resumed_cycle)
+    if trace_errors:
+        result.extra["trace_records_skipped"] = float(len(trace_errors))
+    if spec.golden_check:
+        _golden_validate(spec, result)
+    return result
+
+
+def _golden_validate(spec: RunSpec, result: SimulationResult) -> None:
+    """Replay the spec's trace through the golden model and verify."""
+    from repro.integrity.golden import golden_check, run_golden
+
+    if spec.warmup_instructions:
+        raise ConfigError(
+            "RunSpec.golden_check requires warmup_instructions == 0 "
+            "(a warm-up reset discards events the golden model counts)",
+            field="RunSpec.golden_check",
+        )
+    reference = _resolve_trace(spec.trace, None, 0)
+    golden = run_golden(
+        spec.config, reference, max_instructions=spec.max_instructions
+    )
+    report = golden_check(result, golden)
+    result.extra["golden_miss_rate"] = report.golden_miss_rate
+    report.verify()
 
 
 def _is_picklable(spec: RunSpec) -> bool:
@@ -215,6 +306,7 @@ class CampaignRunner:
         on_error: str = "skip",
         isolation: str = "process",
         resume: bool = False,
+        snapshot_every: Optional[int] = None,
         sleep: Callable[[float], None] = time.sleep,
         on_outcome: Optional[Callable[[RunOutcome], None]] = None,
     ) -> None:
@@ -252,7 +344,19 @@ class CampaignRunner:
                 "resume from",
                 field="CampaignRunner.resume",
             )
+        if snapshot_every is not None and snapshot_every <= 0:
+            raise ConfigError(
+                "CampaignRunner.snapshot_every: must be positive",
+                field="CampaignRunner.snapshot_every",
+            )
+        if snapshot_every is not None and campaign_dir is None:
+            raise ConfigError(
+                "CampaignRunner.snapshot_every: requires a campaign_dir "
+                "to store snapshots in",
+                field="CampaignRunner.snapshot_every",
+            )
         self.campaign_dir = campaign_dir
+        self.snapshot_every = snapshot_every
         self.timeout = timeout
         self.retries = retries
         self.backoff_base = backoff_base
@@ -266,11 +370,13 @@ class CampaignRunner:
     # -- single-attempt execution -------------------------------------
 
     def _attempt_in_subprocess(
-        self, spec: RunSpec, attempt: int
+        self, spec: RunSpec, attempt: int, snapshot_path: Optional[str]
     ) -> SimulationResult:
         executor = ProcessPoolExecutor(max_workers=1)
         try:
-            future = executor.submit(execute_spec, spec, attempt)
+            future = executor.submit(
+                execute_spec, spec, attempt, self.snapshot_every, snapshot_path
+            )
             try:
                 return future.result(timeout=self.timeout)
             except FuturesTimeoutError:
@@ -299,10 +405,20 @@ class CampaignRunner:
         for process in list((executor._processes or {}).values()):
             process.kill()
 
-    def _attempt(self, spec: RunSpec, attempt: int) -> SimulationResult:
+    def _attempt(
+        self, spec: RunSpec, attempt: int, snapshot_path: Optional[str] = None
+    ) -> SimulationResult:
         if self.isolation == "process" and _is_picklable(spec):
-            return self._attempt_in_subprocess(spec, attempt)
-        return execute_spec(spec, attempt)
+            return self._attempt_in_subprocess(spec, attempt, snapshot_path)
+        return execute_spec(spec, attempt, self.snapshot_every, snapshot_path)
+
+    def _snapshot_path(self, spec: RunSpec) -> Optional[str]:
+        """Where this spec's within-run snapshot lives, if enabled."""
+        if self.snapshot_every is None or self.campaign_dir is None:
+            return None
+        return os.path.join(
+            self.campaign_dir, "snapshots", spec.fingerprint() + ".snap"
+        )
 
     # -- retry loop ----------------------------------------------------
 
@@ -310,10 +426,13 @@ class CampaignRunner:
         start = time.monotonic()
         last_error: Optional[ReproError] = None
         attempts = 0
+        snapshot_path = self._snapshot_path(spec)
         for attempt in range(self.retries + 1):
             attempts = attempt + 1
             try:
-                result = self._attempt(spec, attempt)
+                result = self._attempt(spec, attempt, snapshot_path)
+                if snapshot_path is not None and os.path.exists(snapshot_path):
+                    os.remove(snapshot_path)  # run finished; seed not needed
                 return RunOutcome(
                     run_id=spec.run_id,
                     status="ok",
@@ -406,6 +525,7 @@ class CampaignRunner:
             "ConfigError": ConfigError,
             "TraceFormatError": TraceFormatError,
             "RunTimeoutError": RunTimeoutError,
+            "IntegrityError": IntegrityError,
         }
         return kinds.get(outcome.error_kind or "", SimulationError)(message)
 
@@ -489,6 +609,13 @@ class CampaignRunner:
             }
             for outcome in campaign.failures.values()
         ]
+        # Surface silently skipped trace records (strict=False loads):
+        # dropped lines must be visible, not invisible.
+        skipped_by_run = {
+            run_id: int(result.extra.get("trace_records_skipped", 0))
+            for run_id, result in campaign.results.items()
+            if result.extra.get("trace_records_skipped")
+        }
         return store.write_manifest(
             status=status,
             total=total,
@@ -501,6 +628,11 @@ class CampaignRunner:
                     "retries": self.retries,
                     "on_error": self.on_error,
                     "isolation": self.isolation,
+                    "snapshot_every": self.snapshot_every,
+                },
+                "trace_records_skipped": {
+                    "total": sum(skipped_by_run.values()),
+                    "by_run": skipped_by_run,
                 },
             },
         )

@@ -27,6 +27,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import shutil
 from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional
 
 if TYPE_CHECKING:  # runtime import is lazy: repro.sim imports us back
@@ -77,10 +78,14 @@ class CheckpointStore:
         self.manifest_path = os.path.join(campaign_dir, MANIFEST_NAME)
 
     def clear(self) -> None:
-        """Start a fresh campaign: drop any previous checkpoint/manifest."""
+        """Start a fresh campaign: drop any previous checkpoint/manifest
+        and any stale within-run snapshots."""
         for path in (self.checkpoint_path, self.manifest_path):
             if os.path.exists(path):
                 os.remove(path)
+        snapshots = os.path.join(self.campaign_dir, "snapshots")
+        if os.path.isdir(snapshots):
+            shutil.rmtree(snapshots, ignore_errors=True)
 
     def append(self, entry: Dict[str, Any]) -> None:
         """Durably record one terminal outcome."""

@@ -8,15 +8,30 @@
     result = simulate(baseline_config(), get_workload("health", seed=1),
                       max_instructions=50_000, warmup_instructions=5_000)
     print(result.ipc)
+
+Runs are driven in cycle *chunks* so two orthogonal features can hook
+cycle boundaries without touching the core's hot loop:
+
+- **invariant checking** (``config.invariants``): an
+  :class:`~repro.integrity.invariants.InvariantChecker` sweeps the
+  machine every cycle (``full``) or every ``invariant_sample_period``
+  cycles (``cheap``);
+- **snapshotting** (``snapshot_every``): a resumable
+  :class:`~repro.integrity.snapshot.SimSnapshot` is handed to
+  ``snapshot_sink`` at fixed cycle boundaries.
+
+With both off the run is a single uninterrupted call into the core —
+the fast path is unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Iterator, Optional
 
 from repro.config import SimConfig
-from repro.cpu.core import OutOfOrderCore
+from repro.cpu.core import OutOfOrderCore, _RunState
 from repro.errors import ReproError, SimulationError
+from repro.integrity.invariants import build_checker
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.sim.results import SimulationResult
 from repro.streambuf.controller import build_prefetcher
@@ -37,6 +52,10 @@ class Simulator:
         if self.controller is not None:
             self.controller.attach(self.hierarchy)
         self.core = OutOfOrderCore(config.core, self.hierarchy)
+        # None when config.invariants is OFF; otherwise wired to the
+        # hierarchy so per-miss/per-prefetch hooks fire from inside it.
+        self.checker = build_checker(config, self.hierarchy, self.controller)
+        self.hierarchy.integrity = self.checker
 
     def run(
         self,
@@ -44,35 +63,103 @@ class Simulator:
         max_instructions: Optional[int] = None,
         warmup_instructions: Optional[int] = None,
         label: str = "run",
+        snapshot_every: Optional[int] = None,
+        snapshot_sink: Optional[Callable] = None,
     ) -> SimulationResult:
-        """Simulate ``trace`` and gather post-warm-up statistics."""
+        """Simulate ``trace`` and gather post-warm-up statistics.
+
+        ``snapshot_every`` (cycles) periodically captures a resumable
+        :class:`~repro.integrity.snapshot.SimSnapshot` and passes it to
+        ``snapshot_sink``.
+        """
         warmup = (
             warmup_instructions
             if warmup_instructions is not None
             else self.config.warmup_instructions
         )
+        state = self.core.begin_run(
+            max_instructions=max_instructions, warmup_instructions=warmup
+        )
+        return self._drive(
+            state,
+            iter(trace),
+            label,
+            snapshot_every=snapshot_every,
+            snapshot_sink=snapshot_sink,
+        )
+
+    def _drive(
+        self,
+        state: _RunState,
+        source: Iterator[TraceRecord],
+        label: str = "run",
+        snapshot_every: Optional[int] = None,
+        snapshot_sink: Optional[Callable] = None,
+    ) -> SimulationResult:
+        """Advance ``state`` to completion and build the result.
+
+        Shared by fresh runs (:meth:`run`) and snapshot resumes
+        (:func:`repro.integrity.snapshot.resume_run`).
+        """
+        checker = self.checker
 
         def on_warmup_end() -> None:
             self.hierarchy.reset_stats()
             if self.controller is not None:
                 self.controller.reset_stats()
+            if checker is not None:
+                checker.note_reset()
+
+        check_stride = checker.stride if checker is not None else None
+        if snapshot_every is not None and snapshot_every <= 0:
+            raise SimulationError(
+                f"snapshot_every must be positive, got {snapshot_every}"
+            )
 
         try:
-            stats = self.core.run(
-                trace,
-                max_instructions=max_instructions,
-                warmup_instructions=warmup,
-                on_warmup_end=on_warmup_end,
-            )
+            if check_stride is None and snapshot_every is None:
+                # Fast path: one uninterrupted call into the core.
+                self.core.advance(source, state, on_warmup_end=on_warmup_end)
+            else:
+                while True:
+                    stops = []
+                    if check_stride is not None:
+                        stops.append(
+                            (state.cycle // check_stride + 1) * check_stride
+                        )
+                    if snapshot_every is not None:
+                        stops.append(
+                            (state.cycle // snapshot_every + 1) * snapshot_every
+                        )
+                    finished = self.core.advance(
+                        source,
+                        state,
+                        on_warmup_end=on_warmup_end,
+                        stop_cycle=min(stops),
+                    )
+                    if checker is not None:
+                        checker.on_cycle(state.cycle)
+                    if finished:
+                        break
+                    if (
+                        snapshot_sink is not None
+                        and snapshot_every is not None
+                        and state.cycle % snapshot_every == 0
+                    ):
+                        from repro.integrity.snapshot import SimSnapshot
+
+                        snapshot_sink(SimSnapshot.capture(self, state, label))
         except ReproError:
             # Already classified (e.g. a TraceFormatError surfacing from a
-            # lazily-parsed trace iterator): keep the precise category.
+            # lazily-parsed trace iterator, or an IntegrityError from a
+            # checker hook): keep the precise category.
             raise
         except Exception as error:
             raise SimulationError(
                 f"simulation {label!r} crashed: "
                 f"{type(error).__name__}: {error}"
             ) from error
+        stats = self.core.finish_run(state)
         hierarchy = self.hierarchy
         controller = self.controller
         return SimulationResult(
@@ -94,6 +181,19 @@ class Simulator:
             sb_allocations_denied=getattr(controller, "allocations_denied", 0),
             forwarded_loads=stats.forwarded_loads,
             tlb_miss_rate=hierarchy.tlb.miss_rate,
+            extra={
+                # Raw counts the golden-model differential check needs
+                # (rates alone cannot express its conservation laws).
+                "demand_accesses": float(hierarchy.demand_accesses),
+                "demand_misses": float(hierarchy.demand_misses),
+                "l1_mshr_merges": float(hierarchy.l1_mshr.merges),
+                "loads": float(stats.loads),
+                "stores": float(stats.stores),
+                "branches": float(stats.branches),
+                "invariant_checks": float(
+                    checker.checks_run if checker is not None else 0
+                ),
+            },
         )
 
 
@@ -103,6 +203,8 @@ def simulate(
     max_instructions: Optional[int] = None,
     warmup_instructions: Optional[int] = None,
     label: str = "run",
+    snapshot_every: Optional[int] = None,
+    snapshot_sink: Optional[Callable] = None,
 ) -> SimulationResult:
     """Build a fresh machine for ``config`` and run ``trace`` through it."""
     return Simulator(config).run(
@@ -110,4 +212,6 @@ def simulate(
         max_instructions=max_instructions,
         warmup_instructions=warmup_instructions,
         label=label,
+        snapshot_every=snapshot_every,
+        snapshot_sink=snapshot_sink,
     )

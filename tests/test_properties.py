@@ -1,11 +1,15 @@
 """Property-based tests (hypothesis) on core data structures."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.config import BusConfig, CacheConfig
+from repro.errors import IntegrityError
+from repro.integrity import check_bus, check_cache, check_counter, check_mshr
 from repro.memory.bus import Bus
 from repro.memory.cache import SetAssociativeCache
+from repro.memory.mshr import MshrFile
 from repro.predictors.markov import DifferentialMarkovTable
 from repro.predictors.saturating import SaturatingCounter
 from repro.predictors.stride import TwoDeltaStrideTable
@@ -164,3 +168,142 @@ class TestPredictorProperties:
         for address in stream:
             table.train(0x500, address)
         assert 0 <= table.confidence_for(0x500) <= 7
+
+
+class TestInvariantCheckersAcceptRealModels:
+    """Arbitrary legal op sequences never trip the integrity checks."""
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["alloc", "retire"]), addresses),
+            max_size=80,
+        )
+    )
+    def test_mshr_operations_never_trip_checker(self, operations):
+        mshr = MshrFile(num_entries=8)
+        cycle = 0
+        for operation, address in operations:
+            cycle += 1
+            block = block_address(address, 32)
+            if operation == "alloc":
+                if not mshr.is_full() and mshr.lookup(block) is None:
+                    mshr.allocate(block, cycle + 10)
+                elif mshr.lookup(block) is not None:
+                    mshr.merge(block)
+            else:
+                mshr.retire_ready(cycle + 5)
+            check_mshr(mshr, "l1.mshr", cycle)
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=400),
+                st.integers(min_value=1, max_value=128),
+            ),
+            max_size=40,
+        )
+    )
+    def test_bus_operations_never_trip_checker(self, requests):
+        bus = Bus(BusConfig(name="p", bytes_per_cycle=8))
+        for earliest, num_bytes in requests:
+            bus.acquire(earliest, num_bytes)
+            check_bus(bus, "bus")
+
+    @settings(max_examples=50)
+    @given(
+        st.integers(min_value=1, max_value=15),
+        st.lists(st.sampled_from(["inc", "dec"]), max_size=60),
+    )
+    def test_counter_operations_never_trip_checker(self, maximum, operations):
+        counter = SaturatingCounter(maximum=maximum)
+        for operation in operations:
+            if operation == "inc":
+                counter.increment()
+            else:
+                counter.decrement()
+            check_counter(counter, "priority")
+
+    @settings(max_examples=30)
+    @given(st.lists(addresses, max_size=150))
+    def test_cache_operations_never_trip_checker(self, stream):
+        cache = SetAssociativeCache(
+            CacheConfig(
+                name="p", size_bytes=1024, associativity=2, block_size=32,
+                hit_latency=1,
+            )
+        )
+        for address in stream:
+            if not cache.access(address):
+                cache.insert(address)
+        check_cache(cache, "l1")
+
+
+class TestInvariantCheckersRejectCorruptState:
+    """Every corruption recipe provably trips its targeted invariant."""
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=0, max_value=1 << 30))
+    def test_phantom_mshr_entries_trip_balance(self, base):
+        mshr = MshrFile(num_entries=8)
+        mshr._inflight[block_address(base, 32)] = 1 << 60
+        with pytest.raises(IntegrityError) as excinfo:
+            check_mshr(mshr, "l1.mshr")
+        assert excinfo.value.invariant == "l1.mshr.balance"
+
+    def test_overfull_mshr_trips_capacity(self):
+        mshr = MshrFile(num_entries=2)
+        for index in range(4):
+            mshr._inflight[index * 32] = 1 << 60
+        mshr.allocations = 4  # balanced, but past capacity
+        with pytest.raises(IntegrityError) as excinfo:
+            check_mshr(mshr, "l1.mshr")
+        assert excinfo.value.invariant == "l1.mshr.capacity"
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=0, max_value=1 << 20))
+    def test_zero_length_reservation_trips_bus(self, start):
+        bus = Bus(BusConfig(name="p", bytes_per_cycle=8))
+        bus._reservations.append((start, start))
+        with pytest.raises(IntegrityError) as excinfo:
+            check_bus(bus, "bus")
+        assert excinfo.value.invariant == "bus.reservation"
+
+    @settings(max_examples=25)
+    @given(
+        st.integers(min_value=0, max_value=1 << 20),
+        st.integers(min_value=2, max_value=64),
+    )
+    def test_overlapping_reservations_trip_bus(self, start, length):
+        bus = Bus(BusConfig(name="p", bytes_per_cycle=8))
+        bus._reservations.append((start, start + length))
+        bus._reservations.append((start + length - 1, start + 2 * length))
+        with pytest.raises(IntegrityError) as excinfo:
+            check_bus(bus, "bus")
+        assert excinfo.value.invariant == "bus.occupancy"
+
+    @settings(max_examples=25)
+    @given(
+        st.integers(min_value=1, max_value=15),
+        st.integers(min_value=1, max_value=100),
+    )
+    def test_escaped_counter_trips_bounds(self, maximum, excess):
+        counter = SaturatingCounter(maximum=maximum)
+        counter.value = maximum + excess
+        with pytest.raises(IntegrityError) as excinfo:
+            check_counter(counter, "priority")
+        assert excinfo.value.invariant == "priority.bounds"
+
+    def test_broken_cache_accounting_trips_checker(self):
+        cache = SetAssociativeCache(
+            CacheConfig(
+                name="p", size_bytes=1024, associativity=2, block_size=32,
+                hit_latency=1,
+            )
+        )
+        cache.insert(0x1000)
+        cache.hits += 3  # hits that never happened
+        with pytest.raises(IntegrityError) as excinfo:
+            check_cache(cache, "l1")
+        assert excinfo.value.invariant == "l1.accounting"

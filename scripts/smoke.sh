@@ -23,6 +23,27 @@ echo "== golden-model differential check =="
 python -m repro check health --machine psb --instructions 5000
 
 echo
+echo "== trace compilation round trip =="
+trace_dir="$(mktemp -d)"
+python -m repro trace compile health --out "$trace_dir/health.rtb" \
+    --instructions 2000
+python - "$trace_dir/health.rtb" <<'EOF'
+import sys
+from repro.trace import load_binary_trace_list
+records = load_binary_trace_list(sys.argv[1])
+assert len(records) == 2000, len(records)
+print("smoke: compiled trace loads back", len(records), "records")
+EOF
+rm -rf "$trace_dir"
+
+echo
+echo "== bench fast path vs baseline (25% tolerance) =="
+bench_out="$(mktemp -d)"
+python -m repro bench --quick --out "$bench_out/BENCH_core.json" \
+    --check benchmarks/BENCH_core.json --tolerance 0.25
+rm -rf "$bench_out"
+
+echo
 echo "== end-to-end campaign with fault injection =="
 campaign_dir="$(mktemp -d)"
 trap 'rm -rf "$campaign_dir"' EXIT

@@ -82,11 +82,82 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_run_arguments(compare)
 
-    trace = commands.add_parser("trace", help="save a workload trace file")
-    trace.add_argument("workload", choices=workload_names())
+    trace = commands.add_parser(
+        "trace",
+        help="save a workload trace file, or compile one to binary",
+        description=(
+            "'trace WORKLOAD --out X' saves a text trace; "
+            "'trace compile SOURCE --out X' lowers a text trace file or "
+            "a workload name into the packed binary format (loads ~4x "
+            "faster, auto-detected by every trace reader)."
+        ),
+    )
+    trace.add_argument(
+        "workload", metavar="workload|compile",
+        help="a workload name, or 'compile'",
+    )
+    trace.add_argument(
+        "source", nargs="?", default=None,
+        help="for compile: the input text trace path or workload name",
+    )
     trace.add_argument("--out", required=True, help="output path")
-    trace.add_argument("--instructions", type=int, default=20_000)
+    trace.add_argument("--instructions", type=int, default=None,
+                       help="records to write (default: 20000 for "
+                            "workloads, all for trace files)")
     trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument(
+        "--binary", action="store_true",
+        help="write the binary format directly (same as compiling)",
+    )
+
+    bench = commands.add_parser(
+        "bench",
+        help="run the perf micro-suite; write BENCH_core.json",
+        description=(
+            "Benchmark the event-driven fast path against the "
+            "cycle-stepped loop over a pinned workload suite.  Writes a "
+            "JSON report and, with --check, fails when event-mode "
+            "throughput regresses against a checked-in baseline."
+        ),
+    )
+    bench.add_argument(
+        "--workloads", default=None,
+        help="comma-separated workload names (default: all six)",
+    )
+    bench.add_argument(
+        "--machine", choices=sorted(MACHINES), default="base",
+        help="machine config to benchmark (default: base)",
+    )
+    bench.add_argument("--instructions", type=int, default=50_000)
+    bench.add_argument("--warmup", type=int, default=None,
+                       help="default: instructions // 3")
+    bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument(
+        "--repeats", type=int, default=3,
+        help="runs per mode; best wall time wins (default: 3)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="small instruction budget and pointer workloads only "
+             "(CI smoke)",
+    )
+    bench.add_argument(
+        "--out", default="BENCH_core.json",
+        help="report path (default: BENCH_core.json)",
+    )
+    bench.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="compare against a baseline report; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional throughput drop vs baseline "
+             "(default: 0.25)",
+    )
+    bench.add_argument(
+        "--profile", default=None, metavar="DIR",
+        help="dump per-run cProfile stats into DIR",
+    )
 
     report = commands.add_parser(
         "report", help="write a markdown comparison report"
@@ -336,12 +407,105 @@ def _command_report(args: argparse.Namespace) -> int:
 
 
 def _command_trace(args: argparse.Namespace) -> int:
-    written = save_trace(
-        args.out,
-        get_workload(args.workload, seed=args.seed),
-        limit=args.instructions,
+    if args.workload == "compile":
+        return _command_trace_compile(args)
+    if args.workload not in workload_names():
+        raise ConfigError(
+            f"unknown workload {args.workload!r}; known: "
+            f"{', '.join(workload_names())} (or 'compile')",
+            field="trace.workload",
+        )
+    if args.source is not None:
+        raise ConfigError(
+            "trace: a second positional is only valid with 'compile'",
+            field="trace.source",
+        )
+    limit = 20_000 if args.instructions is None else args.instructions
+    records = get_workload(args.workload, seed=args.seed)
+    if args.binary:
+        from repro.trace.binfmt import compile_trace
+
+        written = compile_trace(args.out, records, limit=limit)
+        print(f"compiled {written} records to {args.out}")
+    else:
+        written = save_trace(args.out, records, limit=limit)
+        print(f"wrote {written} records to {args.out}")
+    return 0
+
+
+def _command_trace_compile(args: argparse.Namespace) -> int:
+    from repro.trace.binfmt import compile_trace
+    from repro.trace.io import load_trace
+
+    if args.source is None:
+        raise ConfigError(
+            "trace compile: give an input trace path or workload name",
+            field="trace.source",
+        )
+    if args.source in workload_names():
+        limit = 20_000 if args.instructions is None else args.instructions
+        records = get_workload(args.source, seed=args.seed)
+    else:
+        # A text trace file is finite; compile all of it unless capped.
+        limit = 0 if args.instructions is None else args.instructions
+        records = load_trace(args.source)
+    written = compile_trace(args.out, records, limit=limit)
+    print(f"compiled {written} records to {args.out}")
+    return 0
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.perf import (
+        check_against_baseline,
+        format_report,
+        load_baseline,
+        run_bench,
+        write_report,
     )
-    print(f"wrote {written} records to {args.out}")
+    from repro.workloads import POINTER_WORKLOADS
+
+    if args.workloads is not None:
+        workloads = [
+            name.strip() for name in args.workloads.split(",") if name.strip()
+        ]
+        if not workloads:
+            raise ConfigError("bench: no workloads selected",
+                              field="bench.workloads")
+    elif args.quick:
+        workloads = list(POINTER_WORKLOADS)
+    else:
+        workloads = workload_names()
+    instructions = args.instructions
+    if args.quick and args.instructions == 50_000:
+        instructions = 10_000
+
+    report = run_bench(
+        workloads,
+        MACHINES[args.machine](),
+        machine=args.machine,
+        instructions=instructions,
+        warmup=args.warmup,
+        seed=args.seed,
+        repeats=args.repeats,
+        profile_dir=args.profile,
+    )
+    write_report(report, args.out)
+    print(format_report(report))
+    print(f"wrote {args.out}")
+    if args.profile:
+        print(f"cProfile dumps in {args.profile}/")
+
+    if args.check is not None:
+        baseline = load_baseline(args.check)
+        failures = check_against_baseline(
+            report, baseline, tolerance=args.tolerance
+        )
+        if failures:
+            for failure in failures:
+                print(f"bench regression: {failure}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.check} "
+              f"(tolerance {args.tolerance * 100:.0f}%)")
     return 0
 
 
@@ -485,6 +649,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _command_compare(args)
     if args.command == "trace":
         return _command_trace(args)
+    if args.command == "bench":
+        return _command_bench(args)
     if args.command == "report":
         return _command_report(args)
     if args.command == "check":

@@ -357,6 +357,12 @@ class SimConfig:
     l2_pipeline_depth: int = 3
     warmup_instructions: int = 0
     max_cycles: Optional[int] = None
+    #: Event-driven fast path: when the core is provably quiescent the
+    #: main loop jumps straight to the next interesting cycle instead of
+    #: stepping one cycle at a time.  Results are bit-identical either
+    #: way (the equivalence tests assert it); the switch exists so any
+    #: suspected fast-path divergence can be ruled out in one run.
+    event_driven: bool = True
     #: Runtime invariant checking level (see :class:`InvariantLevel`).
     invariants: InvariantLevel = InvariantLevel.OFF
     #: Under ``CHEAP`` checking, hook points fire once every this many
@@ -378,6 +384,10 @@ class SimConfig:
         return replace(
             self, invariants=level, invariant_sample_period=sample_period
         )
+
+    def with_event_driven(self, enabled: bool) -> "SimConfig":
+        """Return a copy with the core's skip-ahead fast path toggled."""
+        return replace(self, event_driven=enabled)
 
     def with_prefetcher(self, prefetch: PrefetchConfig) -> "SimConfig":
         """Return a copy of this config using ``prefetch``."""

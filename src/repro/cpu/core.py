@@ -17,6 +17,17 @@ The model keeps every mechanism the paper's results depend on:
 Simplifications vs. SimpleScalar (documented in DESIGN.md): wrong-path
 instructions are not executed (the misprediction penalty is charged
 instead), and stores access the cache at issue rather than at commit.
+
+**Event-driven fast path** (``event_driven``, default on): when a cycle
+ends with nothing to issue, nothing retirable, fetch provably blocked,
+and the prefetcher idle, the loop computes a *horizon* — the earliest
+of the next completion in the heap, a stalled branch's redirect cycle,
+and the prefetcher's ``next_event_cycle`` (next free bus slot or
+in-flight-fill refresh) — and jumps ``cycle`` straight there.  Skipped
+iterations have exactly one per-cycle side effect to replay
+(``FunctionalUnits.new_cycle``), so the machine state at every cycle
+boundary is bit-identical to the cycle-stepped loop; the equivalence
+tests assert this stats-, snapshot-, and golden-check-deep.
 """
 
 from __future__ import annotations
@@ -34,6 +45,9 @@ from repro.trace.record import InstrKind, TraceRecord
 
 #: Safety valve: if nothing retires for this many cycles, the model is wedged.
 _DEADLOCK_CYCLES = 100_000
+
+#: "No event pending" horizon sentinel (matches the hierarchy's NEVER).
+_NEVER = 1 << 62
 
 
 class _Instr:
@@ -182,13 +196,23 @@ class CoreStats:
 class OutOfOrderCore:
     """Executes a trace against a memory hierarchy, cycle by cycle."""
 
-    def __init__(self, config: CoreConfig, hierarchy: MemoryHierarchy) -> None:
+    def __init__(
+        self,
+        config: CoreConfig,
+        hierarchy: MemoryHierarchy,
+        event_driven: bool = True,
+    ) -> None:
         self.config = config
         self.hierarchy = hierarchy
+        self.event_driven = event_driven
         self.branch_predictor = GsharePredictor(config.gshare_history_bits)
         self.funits = FunctionalUnits(config)
         self.store_tracker = StoreTracker(config.disambiguation)
         self.stats = CoreStats()
+        #: Optional :class:`repro.perf.PerfCollector`; cycles the fast
+        #: path skipped are tallied here (never into the snapshotted
+        #: run state, so fast and stepped runs stay bit-identical).
+        self.perf = None
 
     # ------------------------------------------------------------------
     # Main loop
@@ -241,7 +265,38 @@ class OutOfOrderCore:
         hierarchy = self.hierarchy
         prefetcher = hierarchy.prefetcher
         # The loop body reads/writes locals (hot path); state fields are
-        # synced at entry and, via ``finally``, at every exit.
+        # synced at entry and, via ``finally``, at every exit.  Config
+        # scalars, enum members, and bound methods are hoisted too —
+        # attribute lookups in this loop are a measurable fraction of
+        # total simulation wall time.
+        fetch_width = config.fetch_width
+        rob_entries = config.rob_entries
+        lsq_entries = config.lsq_entries
+        issue_width = config.issue_width
+        retire_width = config.retire_width
+        branch_preds_per_cycle = config.branch_predictions_per_cycle
+        mispredict_penalty = config.mispredict_penalty
+        store_forward_latency = config.store_forward_latency
+        no_disambiguation = (
+            config.disambiguation == DisambiguationPolicy.NO_DISAMBIGUATION
+        )
+        LOAD = InstrKind.LOAD
+        STORE = InstrKind.STORE
+        BRANCH = InstrKind.BRANCH
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        funits_new_cycle = self.funits.new_cycle
+        funits_try_issue = self.funits.try_issue
+        hier_access = hierarchy.access
+        prefetcher_tick = prefetcher.tick
+        prefetcher_next_event = prefetcher.next_event_cycle
+        bp_update = self.branch_predictor.update
+        tracker = self.store_tracker
+        track_load = tracker.for_load
+        track_store_dispatched = tracker.note_store_dispatched
+        track_store_retired = tracker.note_store_retired
+        track_previous_store = tracker.previous_store
+        load_latency_add = self.stats.load_latency.add
         rob = state.rob
         rob_head = state.rob_head
         alive = state.alive
@@ -264,19 +319,20 @@ class OutOfOrderCore:
         max_instructions = state.max_instructions
         warmup_instructions = state.warmup_instructions
         finished = False
-
-        def rob_size() -> int:
-            return len(rob) - rob_head
+        event_driven = self.event_driven
+        cycles_skipped = 0
+        alive_get = alive.get
+        alive_pop = alive.pop
 
         try:
             while True:
                 if stop_cycle is not None and cycle >= stop_cycle:
                     break
-                self.funits.new_cycle(cycle)
+                funits_new_cycle(cycle)
 
                 # ---- complete --------------------------------------------
                 while completions and completions[0][0] <= cycle:
-                    __, __, instr = heapq.heappop(completions)
+                    __, __, instr = heappop(completions)
                     instr.completed = True
                     for dependent in instr.dependents:
                         dependent.pending_deps -= 1
@@ -289,7 +345,7 @@ class OutOfOrderCore:
                 while (
                     rob_head < len(rob)
                     and rob[rob_head].completed
-                    and retired_this_cycle < config.retire_width
+                    and retired_this_cycle < retire_width
                 ):
                     instr = rob[rob_head]
                     rob[rob_head] = None  # free the reference
@@ -297,17 +353,16 @@ class OutOfOrderCore:
                     retired_this_cycle += 1
                     retired += 1
                     last_retire_cycle = cycle
-                    alive.pop(instr.seq, None)
-                    if instr.kind == InstrKind.LOAD:
+                    alive_pop(instr.seq, None)
+                    kind = instr.kind
+                    if kind is LOAD:
                         loads += 1
                         lsq_occupancy -= 1
-                    elif instr.kind == InstrKind.STORE:
+                    elif kind is STORE:
                         stores += 1
                         lsq_occupancy -= 1
-                        self.store_tracker.note_store_retired(
-                            instr.seq, instr.addr
-                        )
-                    elif instr.kind == InstrKind.BRANCH:
+                        track_store_retired(instr.seq, instr.addr)
+                    elif kind is BRANCH:
                         branches += 1
                     if warmup_pending and retired >= warmup_instructions:
                         warmup_pending = False
@@ -328,13 +383,13 @@ class OutOfOrderCore:
                     if (
                         stall_branch.complete_cycle >= 0
                         and cycle
-                        >= stall_branch.complete_cycle + config.mispredict_penalty
+                        >= stall_branch.complete_cycle + mispredict_penalty
                     ):
                         stall_branch = None
                 if stall_branch is None and not trace_done:
                     branches_this_cycle = 0
-                    for __ in range(config.fetch_width):
-                        if rob_size() >= config.rob_entries:
+                    for __ in range(fetch_width):
+                        if len(rob) - rob_head >= rob_entries:
                             break
                         if (
                             max_instructions is not None
@@ -350,14 +405,13 @@ class OutOfOrderCore:
                             if record is None:
                                 trace_done = True
                                 break
-                        if record.is_memory and lsq_occupancy >= config.lsq_entries:
+                        rkind = record.kind
+                        is_memory = rkind is LOAD or rkind is STORE
+                        if is_memory and lsq_occupancy >= lsq_entries:
                             pending_record = record
                             break
-                        if record.is_branch:
-                            if (
-                                branches_this_cycle
-                                >= config.branch_predictions_per_cycle
-                            ):
+                        if rkind is BRANCH:
+                            if branches_this_cycle >= branch_preds_per_cycle:
                                 pending_record = record
                                 break
                             branches_this_cycle += 1
@@ -366,22 +420,55 @@ class OutOfOrderCore:
                         alive[seq] = instr
                         seq += 1
                         fetched += 1
-                        if record.is_memory:
+                        if is_memory:
                             lsq_occupancy += 1
 
-                        self._register_dependences(instr, record, alive)
-                        if record.is_store:
-                            self.store_tracker.note_store_dispatched(
-                                instr.seq, instr.addr
-                            )
+                        # Dependence wiring (_register_dependences inlined).
+                        dep1 = record.dep1
+                        if dep1 > 0:
+                            producer = alive_get(instr.seq - dep1)
+                            if producer is not None and not producer.completed:
+                                producer.dependents.append(instr)
+                                instr.pending_deps += 1
+                        dep2 = record.dep2
+                        if dep2 > 0 and dep2 != dep1:
+                            producer = alive_get(instr.seq - dep2)
+                            if producer is not None and not producer.completed:
+                                producer.dependents.append(instr)
+                                instr.pending_deps += 1
+                        if rkind is LOAD:
+                            store_seq, forward_seq = track_load(record.addr)
+                            if store_seq is not None:
+                                producer = alive_get(store_seq)
+                                if (
+                                    producer is not None
+                                    and not producer.completed
+                                ):
+                                    producer.dependents.append(instr)
+                                    instr.pending_deps += 1
+                            if forward_seq is not None:
+                                instr.forward_from = forward_seq
+                        elif rkind is STORE:
+                            if no_disambiguation:
+                                # Chain stores so they issue in order;
+                                # with the load->previous-store edge this
+                                # makes every load wait for all prior
+                                # stores, the paper's "NoDis" behaviour.
+                                previous = track_previous_store()
+                                if previous is not None:
+                                    producer = alive_get(previous)
+                                    if (
+                                        producer is not None
+                                        and not producer.completed
+                                    ):
+                                        producer.dependents.append(instr)
+                                        instr.pending_deps += 1
+                            track_store_dispatched(instr.seq, instr.addr)
                         rob.append(instr)
                         if instr.pending_deps == 0:
                             ready.append(instr)
-                        if record.is_branch:
-                            correct = self.branch_predictor.update(
-                                record.pc, record.taken
-                            )
-                            if not correct:
+                        if rkind is BRANCH:
+                            if not bp_update(record.pc, record.taken):
                                 stall_branch = instr
                                 break
 
@@ -390,26 +477,41 @@ class OutOfOrderCore:
                     issued_count = 0
                     still_waiting: List[_Instr] = []
                     for instr in ready:
+                        ikind = instr.kind
                         if (
-                            issued_count >= config.issue_width
-                            or not self.funits.can_issue(instr.kind)
+                            issued_count >= issue_width
+                            or (latency := funits_try_issue(ikind)) < 0
                         ):
                             still_waiting.append(instr)
                             continue
                         issued_count += 1
-                        self.funits.issue(instr.kind)
                         instr.issued = True
-                        complete = self._execute(instr, cycle)
-                        instr.complete_cycle = complete
-                        if instr.kind == InstrKind.LOAD:
-                            self.stats.load_latency.add(complete - cycle)
+                        # _execute inlined.
+                        if ikind is LOAD:
                             if instr.forward_from is not None:
+                                # Same-word store still in the window:
+                                # forward, skip the cache (and therefore
+                                # skip prefetcher training).
+                                complete = cycle + store_forward_latency
                                 forwarded += 1
-                        heapq.heappush(completions, (complete, instr.seq, instr))
+                            else:
+                                complete = hier_access(
+                                    instr.pc, instr.addr, cycle, is_store=False
+                                ).complete_cycle
+                            load_latency_add(complete - cycle)
+                        elif ikind is STORE:
+                            # Stores access the hierarchy for bandwidth and
+                            # state effects but never stall the window.
+                            hier_access(instr.pc, instr.addr, cycle, is_store=True)
+                            complete = cycle + 1
+                        else:
+                            complete = cycle + latency
+                        instr.complete_cycle = complete
+                        heappush(completions, (complete, instr.seq, instr))
                     ready = still_waiting
 
                 # ---- prefetcher gets its cycle ---------------------------
-                prefetcher.tick(cycle)
+                prefetcher_tick(cycle)
 
                 # ---- termination / deadlock ------------------------------
                 if trace_done and rob_head >= len(rob):
@@ -421,6 +523,67 @@ class OutOfOrderCore:
                         f"{last_retire_cycle}"
                     )
                 cycle += 1
+
+                # ---- event-driven skip-ahead -----------------------------
+                # Quiescence test for the cycle about to start: nothing
+                # issuable, nothing retirable, fetch provably blocked,
+                # prefetcher idle.  Each clause either proves the next
+                # cycle is a no-op or falls back to single-stepping, so
+                # a wrong horizon can cost time but never correctness.
+                if not event_driven or ready:
+                    continue
+                if completions:
+                    horizon = completions[0][0]
+                    if horizon <= cycle:
+                        continue  # a completion lands this cycle
+                else:
+                    horizon = _NEVER
+                if rob_head < len(rob) and rob[rob_head].completed:
+                    continue  # more retires this cycle (width-limited)
+                if not trace_done:
+                    if stall_branch is not None:
+                        redirect = stall_branch.complete_cycle
+                        if redirect >= 0:
+                            redirect += mispredict_penalty
+                            if redirect <= cycle:
+                                continue  # fetch resumes this cycle
+                            if redirect < horizon:
+                                horizon = redirect
+                        # An unissued stalled branch waits on a
+                        # completion already in the horizon.
+                    elif len(rob) - rob_head >= rob_entries:
+                        pass  # ROB full: frees only via retire
+                    elif (
+                        pending_record is not None
+                        and (
+                            pending_record.kind is LOAD
+                            or pending_record.kind is STORE
+                        )
+                        and lsq_occupancy >= lsq_entries
+                    ):
+                        pass  # LSQ full: frees only via retire
+                    else:
+                        continue  # fetch can dispatch this cycle
+                next_prefetch = prefetcher_next_event(cycle)
+                if next_prefetch <= cycle:
+                    continue
+                if next_prefetch < horizon:
+                    horizon = next_prefetch
+                # Never skip past the deadlock detector's trip point or
+                # a caller's stop boundary.
+                deadline = last_retire_cycle + _DEADLOCK_CYCLES + 1
+                if horizon > deadline:
+                    horizon = deadline
+                if stop_cycle is not None and horizon > stop_cycle:
+                    horizon = stop_cycle
+                if horizon > cycle:
+                    # The skipped iterations' only per-cycle side effect
+                    # is the functional units' slot reset; replay it so
+                    # state at the landing cycle (or a stop boundary)
+                    # matches the stepped loop bit for bit.
+                    funits_new_cycle(horizon - 1)
+                    cycles_skipped += horizon - cycle
+                    cycle = horizon
         finally:
             state.rob = rob
             state.rob_head = rob_head
@@ -442,6 +605,8 @@ class OutOfOrderCore:
             state.branches = branches
             state.forwarded = forwarded
             state.finished = finished
+            if self.perf is not None:
+                self.perf.add("core.cycles_skipped", cycles_skipped)
         return finished
 
     def finish_run(self, state: _RunState) -> CoreStats:
@@ -454,58 +619,3 @@ class OutOfOrderCore:
         stats.branches = state.branches
         stats.forwarded_loads = state.forwarded
         return stats
-
-    # ------------------------------------------------------------------
-    # Helpers
-    # ------------------------------------------------------------------
-
-    def _register_dependences(
-        self, instr: _Instr, record: TraceRecord, alive: Dict[int, _Instr]
-    ) -> None:
-        """Wire register and memory-ordering dependences for ``instr``."""
-
-        def depend_on(producer_seq: int) -> None:
-            producer = alive.get(producer_seq)
-            if producer is not None and not producer.completed:
-                producer.dependents.append(instr)
-                instr.pending_deps += 1
-
-        if record.dep1 > 0:
-            depend_on(instr.seq - record.dep1)
-        if record.dep2 > 0 and record.dep2 != record.dep1:
-            depend_on(instr.seq - record.dep2)
-
-        if record.is_load:
-            store_seq = self.store_tracker.dependence_for_load(record.addr)
-            if store_seq is not None:
-                depend_on(store_seq)
-            forward_seq = self.store_tracker.forwards(record.addr)
-            if forward_seq is not None:
-                instr.forward_from = forward_seq
-        elif record.is_store:
-            if self.config.disambiguation == DisambiguationPolicy.NO_DISAMBIGUATION:
-                # Chain stores so they issue in order; combined with the
-                # load->previous-store edge this makes every load wait for
-                # all prior stores, the paper's "NoDis" behaviour.
-                previous = self.store_tracker.previous_store()
-                if previous is not None:
-                    depend_on(previous)
-
-    def _execute(self, instr: _Instr, cycle: int) -> int:
-        """Begin execution at ``cycle``; return the completion cycle."""
-        kind = instr.kind
-        if kind == InstrKind.LOAD:
-            if instr.forward_from is not None:
-                # Same-word store still in the window: forward, skip the
-                # cache entirely (and therefore skip prefetcher training).
-                return cycle + self.config.store_forward_latency
-            result = self.hierarchy.access(
-                instr.pc, instr.addr, cycle, is_store=False
-            )
-            return result.complete_cycle
-        if kind == InstrKind.STORE:
-            # Stores access the hierarchy for bandwidth/state effects but
-            # do not stall the window on a miss.
-            self.hierarchy.access(instr.pc, instr.addr, cycle, is_store=True)
-            return cycle + 1
-        return cycle + self.funits.latency_of(kind)

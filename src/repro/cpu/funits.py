@@ -84,3 +84,27 @@ class FunctionalUnits:
                     free_times[index] = self._current_cycle + latency
                     break
         return latency
+
+    def try_issue(self, kind: InstrKind) -> int:
+        """Claim a unit if one is available; return the latency, or -1.
+
+        Fuses :meth:`can_issue` + :meth:`issue` into one call for the
+        core's issue loop; behaviour is identical (no side effects on
+        refusal).
+        """
+        pool = _POOL_OF_KIND[kind]
+        issued = self._issued_this_cycle
+        if issued[pool] >= self._capacity[pool]:
+            return -1
+        latency = OP_LATENCY[kind]
+        if kind in UNPIPELINED_KINDS:
+            free_times = self._divider_free_at[pool]
+            current = self._current_cycle
+            for index, free in enumerate(free_times):
+                if free <= current:
+                    free_times[index] = current + latency
+                    break
+            else:
+                return -1
+        issued[pool] += 1
+        return latency

@@ -68,6 +68,23 @@ class StoreTracker:
         """Seq of an in-flight same-word store whose data this load gets."""
         return self._store_by_word.get(word_of(address))
 
+    def for_load(self, address: int):
+        """Fused (dependence, forward) query for one load.
+
+        One ``word_of`` computation and one call for the core's fetch
+        path; identical counters and results to calling
+        :meth:`dependence_for_load` then :meth:`forwards`.
+        """
+        word = address & ~(WORD_BYTES - 1)
+        if self.policy == DisambiguationPolicy.PERFECT_STORE_SETS:
+            seq = self._store_by_word.get(word)
+            if seq is not None:
+                self.forwarded_loads += 1
+            return seq, seq
+        if self._last_store_seq is not None:
+            self.serialized_loads += 1
+        return self._last_store_seq, self._store_by_word.get(word)
+
     def previous_store(self) -> Optional[int]:
         """Most recent in-flight store (used to chain stores in order)."""
         return self._last_store_seq

@@ -19,7 +19,7 @@ from collections import OrderedDict
 from typing import Dict, List, Optional
 
 from repro.demandpf.buffer import PrefetchBuffer
-from repro.memory.hierarchy import MemoryHierarchy, PrefetcherPort
+from repro.memory.hierarchy import NEVER, MemoryHierarchy, PrefetcherPort
 
 
 class _Successor:
@@ -139,6 +139,12 @@ class DemandMarkovPrefetcher(PrefetcherPort):
                         self._source.pop(victim, None)
                         break
             self.buffer.insert(block, ready)
+
+    def next_event_cycle(self, cycle: int) -> int:
+        """Idle until a queued prefetch can win the L1-L2 bus."""
+        if not self._pending or self.hierarchy is None:
+            return NEVER
+        return self.hierarchy.next_prefetch_slot(cycle)
 
     @property
     def accuracy(self) -> float:

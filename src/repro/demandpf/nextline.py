@@ -16,7 +16,7 @@ from collections import OrderedDict
 from typing import List, Optional
 
 from repro.demandpf.buffer import PrefetchBuffer
-from repro.memory.hierarchy import MemoryHierarchy, PrefetcherPort
+from repro.memory.hierarchy import NEVER, MemoryHierarchy, PrefetcherPort
 
 
 class NextLinePrefetcher(PrefetcherPort):
@@ -87,6 +87,12 @@ class NextLinePrefetcher(PrefetcherPort):
             self.prefetches_issued += 1
             self.buffer.insert(block, ready)
             self._mark_fresh(block)
+
+    def next_event_cycle(self, cycle: int) -> int:
+        """Idle until a queued prefetch can win the L1-L2 bus."""
+        if not self._pending or self.hierarchy is None:
+            return NEVER
+        return self.hierarchy.next_prefetch_slot(cycle)
 
     @property
     def accuracy(self) -> float:

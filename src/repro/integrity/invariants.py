@@ -92,9 +92,10 @@ def check_mshr(mshr, name: str = "mshr", cycle: Optional[int] = None) -> None:
 def check_bus(bus, name: str = "bus", cycle: Optional[int] = None) -> None:
     """Reservations are sorted, non-overlapping, positive-length."""
     previous_end = None
-    for start, end in bus._reservations:
+    reservations = bus.reservations()
+    for start, end in reservations:
         dump = {
-            "reservations": list(bus._reservations),
+            "reservations": reservations,
             "busy_cycles": bus.busy_cycles,
             "transactions": bus.transactions,
         }

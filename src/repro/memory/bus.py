@@ -26,6 +26,9 @@ class Bus:
     def __init__(self, config: BusConfig) -> None:
         self.config = config
         self._reservations: List[Tuple[int, int]] = []
+        # Size -> duration cache: transfers come in two sizes (request
+        # packet, refill block) but the duration math runs per transfer.
+        self._duration_of: dict = {}
         self.busy_cycles = 0
         self.transactions = 0
 
@@ -37,6 +40,8 @@ class Bus:
         earlier-cycle callers still contend with.
         """
         reservations = self._reservations
+        if not reservations or reservations[0][1] > cycle:
+            return
         drop = 0
         for start, end in reservations:
             if end <= cycle:
@@ -47,18 +52,45 @@ class Bus:
             del reservations[:drop]
 
     def is_free_at(self, cycle: int) -> bool:
-        """True when no transaction occupies the bus at ``cycle``."""
-        self.prune_before(cycle)
+        """True when no transaction occupies the bus at ``cycle``.
+
+        A pure query: unlike :meth:`prune_before` it never mutates the
+        reservation list, so cycle-skipping callers (the event-driven
+        core loop probes future cycles) leave the bus state untouched.
+        """
+        return self.next_free_cycle(cycle) == cycle
+
+    def next_free_cycle(self, cycle: int) -> int:
+        """Earliest cycle >= ``cycle`` with no transaction on the wires.
+
+        This is the accessor the event-driven core loop uses to compute
+        its skip-ahead horizon: when prefetches are pending but the bus
+        is occupied, nothing can happen before this cycle.  Pure query;
+        no pruning.
+        """
+        free = cycle
         for start, end in self._reservations:
-            if start > cycle:
-                return True
-            if start <= cycle < end:
-                return False
-        return True
+            if start > free:
+                break
+            if end > free:
+                free = end
+        return free
+
+    def reservations(self) -> List[Tuple[int, int]]:
+        """A copy of the current ``[start, end)`` reservation intervals.
+
+        Public introspection for the integrity checker and tests, so
+        nothing outside this class walks ``_reservations`` directly.
+        """
+        return list(self._reservations)
 
     def transfer_cycles(self, num_bytes: int) -> int:
         """Cycles required to move ``num_bytes`` at this bus's bandwidth."""
-        return self.config.transfer_cycles(num_bytes)
+        duration = self._duration_of.get(num_bytes)
+        if duration is None:
+            duration = self.config.transfer_cycles(num_bytes)
+            self._duration_of[num_bytes] = duration
+        return duration
 
     def acquire(self, earliest_cycle: int, num_bytes: int) -> int:
         """Reserve the earliest gap fitting a ``num_bytes`` transfer.

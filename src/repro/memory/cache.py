@@ -47,8 +47,11 @@ class SetAssociativeCache:
 
     def access(self, address: int, is_store: bool = False) -> bool:
         """Demand access: returns hit/miss, updates LRU and statistics."""
-        block = self.align(address)
-        cache_set = self._set_for(block)
+        # align() and _set_for() inlined: this is the hottest call in
+        # the whole memory system (every load and store lands here).
+        block_size = self.block_size
+        block = address & ~(block_size - 1)
+        cache_set = self._sets[(block // block_size) % self.num_sets]
         self.accesses += 1
         if block in cache_set:
             cache_set.move_to_end(block)

@@ -33,6 +33,10 @@ from repro.stats import Accumulator
 #: Bytes of a request (address) packet on the L1-L2 bus.
 REQUEST_BYTES = 8
 
+#: Sentinel "no event pending" cycle for skip-ahead horizons; far enough
+#: out that no simulation ever reaches it.
+NEVER = 1 << 62
+
 
 class AccessResult:
     """Outcome of one demand access to the hierarchy."""
@@ -75,6 +79,19 @@ class PrefetcherPort:
     def tick(self, cycle: int) -> None:
         """Advance one cycle: make one prediction, maybe one prefetch."""
 
+    def next_event_cycle(self, cycle: int) -> int:
+        """Earliest cycle >= ``cycle`` at which :meth:`tick` could do
+        anything.
+
+        The event-driven core loop folds this into its skip-ahead
+        horizon; :data:`NEVER` means the prefetcher is idle until an
+        external event (miss, probe) wakes it.  Implementations must be
+        pure queries, and must be *conservative*: returning ``cycle``
+        simply disables skipping for a cycle, while returning too large
+        a value would silently change simulation results.
+        """
+        return NEVER
+
 
 class L2Pipeline:
     """The L2 accepts overlapping accesses, ``depth`` at a time."""
@@ -87,10 +104,17 @@ class L2Pipeline:
 
     def access(self, arrival_cycle: int) -> int:
         """Schedule an access; return the cycle its result is available."""
-        best = min(range(len(self._slot_free_at)), key=self._slot_free_at.__getitem__)
-        start = max(arrival_cycle, self._slot_free_at[best])
+        slots = self._slot_free_at
+        best = 0
+        best_free = slots[0]
+        for index in range(1, len(slots)):
+            free = slots[index]
+            if free < best_free:
+                best_free = free
+                best = index
+        start = arrival_cycle if arrival_cycle > best_free else best_free
         done = start + self.latency
-        self._slot_free_at[best] = done
+        slots[best] = done
         return done
 
 
@@ -117,6 +141,12 @@ class MemoryHierarchy:
         # Pending fills: (ready_cycle, block, dirty) min-heaps.
         self._l1_fills: List[Tuple[int, int, bool]] = []
         self._l2_fills: List[Tuple[int, int, bool]] = []
+        # Earliest cycle at which :meth:`drain` has any work: the min
+        # ready cycle over both fill heaps (every MSHR entry is paired
+        # with a fill at the same ready cycle, so fills cover MSHR
+        # retirement too).  Every scheduled fill lowers it; drain
+        # recomputes it.  0 so the first drain call does a full pass.
+        self._drain_due = 0
         # Statistics.
         self.demand_accesses = 0
         self.demand_misses = 0
@@ -132,20 +162,29 @@ class MemoryHierarchy:
 
     def drain(self, cycle: int) -> None:
         """Complete any fills whose data has arrived by ``cycle``."""
+        if cycle < self._drain_due:
+            return
         # ``cycle`` follows the core's clock (monotone), so old bus
-        # reservations can safely be forgotten here.
+        # reservations can safely be forgotten here.  (Pruning rides
+        # the watermark: deferring it never changes bus timing, only
+        # how long stale reservations linger in the scan lists.)
         self.l1_l2_bus.prune_before(cycle)
         self.l2_mem_bus.prune_before(cycle)
-        while self._l2_fills and self._l2_fills[0][0] <= cycle:
-            __, block, dirty = heapq.heappop(self._l2_fills)
+        l2_fills = self._l2_fills
+        while l2_fills and l2_fills[0][0] <= cycle:
+            __, block, dirty = heapq.heappop(l2_fills)
             self.l2.insert(block, dirty=dirty)
-        while self._l1_fills and self._l1_fills[0][0] <= cycle:
-            ready, block, dirty = heapq.heappop(self._l1_fills)
+        l1_fills = self._l1_fills
+        while l1_fills and l1_fills[0][0] <= cycle:
+            ready, block, dirty = heapq.heappop(l1_fills)
             victim = self.l1.insert(block, dirty=dirty)
             if victim is not None and victim[1]:
                 self._write_back_l1_victim(victim[0], ready)
         self.l1_mshr.retire_ready(cycle)
         self.l2_mshr.retire_ready(cycle)
+        l1_head = l1_fills[0][0] if l1_fills else NEVER
+        l2_head = l2_fills[0][0] if l2_fills else NEVER
+        self._drain_due = l1_head if l1_head < l2_head else l2_head
 
     def _write_back_l1_victim(self, block: int, cycle: int) -> None:
         """Send a dirty L1 block down to the L2 (occupies the L1-L2 bus)."""
@@ -185,6 +224,8 @@ class MemoryHierarchy:
                 else:
                     self.l2_mshr.note_full_stall()
                 heapq.heappush(self._l2_fills, (mem_done, l2_block, False))
+                if mem_done < self._drain_due:
+                    self._drain_due = mem_done
                 l2_done = mem_done
         # The refill block crosses the L1-L2 bus back to the L1 side.
         transfer_start = self.l1_l2_bus.acquire(l2_done, self.l1.block_size)
@@ -203,11 +244,13 @@ class MemoryHierarchy:
         """Perform a demand load/store lookup starting at ``cycle``."""
         self.drain(cycle)
         self.demand_accesses += 1
-        block = self.l1.align(address)
-        hit_done = cycle + self.l1.config.hit_latency
+        l1 = self.l1
+        block = address & ~(l1.block_size - 1)
+        hit_latency = l1.config.hit_latency
+        hit_done = cycle + hit_latency
 
-        if self.l1.access(address, is_store=is_store):
-            return AccessResult(hit_done, "l1", False, hit_done - cycle)
+        if l1.access(address, is_store=is_store):
+            return AccessResult(hit_done, "l1", False, hit_latency)
 
         # Not resident: a miss under the paper's accounting, whatever
         # happens next.
@@ -229,6 +272,8 @@ class MemoryHierarchy:
                 # Data waiting in the stream buffer: move block into L1.
                 self.sb_hits += 1
                 heapq.heappush(self._l1_fills, (hit_done, block, is_store))
+                if hit_done < self._drain_due:
+                    self._drain_due = hit_done
                 self._finish_miss(pc, address, cycle, is_store, sb_hit=True)
                 return self._miss_result(
                     AccessResult(hit_done, "sb", True, hit_done - cycle), cycle
@@ -239,6 +284,8 @@ class MemoryHierarchy:
             if not self.l1_mshr.is_full():
                 self.l1_mshr.allocate(block, done)
             heapq.heappush(self._l1_fills, (done, block, is_store))
+            if done < self._drain_due:
+                self._drain_due = done
             self._finish_miss(pc, address, cycle, is_store, sb_hit=True)
             return self._miss_result(
                 AccessResult(done, "sb-pending", True, done - cycle), cycle
@@ -253,6 +300,8 @@ class MemoryHierarchy:
         done, served = self._fetch_from_l2(address, request_cycle)
         self.l1_mshr.allocate(block, done)
         heapq.heappush(self._l1_fills, (done, block, is_store))
+        if done < self._drain_due:
+            self._drain_due = done
         self._finish_miss(pc, address, cycle, is_store, sb_hit=False)
         return self._miss_result(
             AccessResult(done, served, True, done - cycle), cycle
@@ -282,7 +331,17 @@ class MemoryHierarchy:
     def can_prefetch(self, cycle: int) -> bool:
         """Prefetches only launch when the L1-L2 bus is free at the start
         of a cycle (Section 4.1)."""
-        return self.l1_l2_bus.is_free_at(cycle)
+        return self.l1_l2_bus.next_free_cycle(cycle) == cycle
+
+    def next_prefetch_slot(self, cycle: int) -> int:
+        """Earliest cycle >= ``cycle`` a prefetch could win the L1-L2 bus.
+
+        The single "next free cycle" accessor shared by
+        :meth:`can_prefetch` and the prefetchers' ``next_event_cycle``
+        horizon hooks, so no caller scans bus reservation lists itself.
+        Pure query: probing future cycles must not perturb bus state.
+        """
+        return self.l1_l2_bus.next_free_cycle(cycle)
 
     def issue_prefetch(
         self, address: int, cycle: int, skip_tlb: bool = False
@@ -321,6 +380,23 @@ class MemoryHierarchy:
         if self.demand_accesses == 0:
             return 0.0
         return self.demand_misses / self.demand_accesses
+
+    def perf_counters(self) -> dict:
+        """Event counts for the perf subsystem (one flat dict)."""
+        return {
+            "hierarchy.demand_accesses": float(self.demand_accesses),
+            "hierarchy.demand_misses": float(self.demand_misses),
+            "hierarchy.sb_hits": float(self.sb_hits),
+            "hierarchy.sb_pending_hits": float(self.sb_pending_hits),
+            "hierarchy.prefetches_issued": float(self.prefetches_issued),
+            "hierarchy.l1_l2_bus_transactions": float(
+                self.l1_l2_bus.transactions
+            ),
+            "hierarchy.l2_mem_bus_transactions": float(
+                self.l2_mem_bus.transactions
+            ),
+            "hierarchy.tlb_misses": float(self.tlb.misses),
+        }
 
     def reset_stats(self) -> None:
         self.demand_accesses = 0

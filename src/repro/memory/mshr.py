@@ -10,6 +10,9 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+#: "Nothing in flight" sentinel for the earliest-ready fast path.
+_NEVER = 1 << 62
+
 
 class MshrFile:
     """A finite file of outstanding block fills, keyed by block address."""
@@ -19,6 +22,9 @@ class MshrFile:
             raise ValueError("an MSHR file needs at least one entry")
         self.num_entries = num_entries
         self._inflight: Dict[int, int] = {}  # block address -> ready cycle
+        # Cached min of ``_inflight.values()`` so the per-access
+        # ``retire_ready`` sweep can bail out without scanning.
+        self._earliest = _NEVER
         self.allocations = 0
         self.releases = 0
         self.merges = 0
@@ -47,6 +53,8 @@ class MshrFile:
         if self.is_full():
             raise ValueError("MSHR file is full")
         self._inflight[block_addr] = ready_cycle
+        if ready_cycle < self._earliest:
+            self._earliest = ready_cycle
         self.allocations += 1
 
     def merge(self, block_addr: int) -> int:
@@ -56,10 +64,14 @@ class MshrFile:
 
     def retire_ready(self, cycle: int) -> list:
         """Remove and return block addresses whose fills completed by ``cycle``."""
-        done = [blk for blk, ready in self._inflight.items() if ready <= cycle]
+        if cycle < self._earliest:
+            return []
+        inflight = self._inflight
+        done = [blk for blk, ready in inflight.items() if ready <= cycle]
         for blk in done:
-            del self._inflight[blk]
+            del inflight[blk]
         self.releases += len(done)
+        self._earliest = min(inflight.values()) if inflight else _NEVER
         return done
 
     def note_full_stall(self) -> None:

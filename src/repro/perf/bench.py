@@ -1,0 +1,297 @@
+"""The pinned benchmark micro-suite behind ``repro-sim bench``.
+
+Each benchmarked workload is generated once, materialised into a list
+(so trace generation is excluded from the timings and both runs see
+the exact same records), then simulated twice on the same machine
+config: once cycle-stepped (``event_driven=False``) and once through
+the event-driven fast path.  Both runs must produce identical
+architectural results — the bench refuses to report a speedup for a
+run that changed the answer.
+
+Reports are plain JSON (see :func:`write_report`); the checked-in
+baseline lives at ``benchmarks/BENCH_core.json`` and
+:func:`check_against_baseline` gates CI on it: the regression signal
+is the stepped/event *speedup ratio*, not absolute wall time — both
+modes run back-to-back under the same machine load, so their ratio
+survives runner-class and background-load differences that make
+absolute-throughput gates flaky.  Absolute rates are still recorded in
+every report for human eyes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import SimConfig
+from repro.errors import ReproError
+from repro.workloads import cached_workload_trace, workload_names
+
+#: Schema version of the report / baseline JSON.
+REPORT_VERSION = 1
+
+
+class BenchmarkError(ReproError):
+    """A benchmark run or baseline comparison failed."""
+
+    retryable = False
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def _timed_run(
+    config: SimConfig,
+    records: list,
+    instructions: int,
+    warmup: int,
+    label: str,
+    profile_path: Optional[str] = None,
+):
+    """One simulation plus its wall time and perf counters.
+
+    With ``profile_path``, the run executes under :mod:`cProfile` and
+    the stats dump lands there (readable via ``pstats`` or snakeviz).
+    Profiled wall times are inflated by instrumentation — compare them
+    only against other profiled runs.
+    """
+    from repro.sim.simulator import Simulator
+
+    simulator = Simulator(config)
+    profiler = None
+    if profile_path is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        result = simulator.run(
+            iter(records),
+            max_instructions=instructions,
+            warmup_instructions=warmup,
+            label=label,
+        )
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(profile_path)
+    wall = simulator.perf.elapsed("simulate")
+    return result, wall, simulator.perf
+
+
+def run_bench(
+    workloads: Sequence[str],
+    config: SimConfig,
+    machine: str = "psb",
+    instructions: int = 50_000,
+    warmup: Optional[int] = None,
+    seed: int = 1,
+    repeats: int = 3,
+    profile_dir: Optional[str] = None,
+) -> dict:
+    """Benchmark ``workloads`` on ``config``; return a report dict.
+
+    Each mode runs ``repeats`` times and reports its best wall time —
+    simulations are deterministic, so repeat variance is pure scheduler
+    and cache noise, and the minimum is the honest estimate of the
+    code's cost.  Raises :class:`BenchmarkError` if any workload name
+    is unknown or if the event-driven run disagrees with the
+    cycle-stepped one (a fast path that changes the answer is a bug,
+    not a speedup).  With ``profile_dir``, each run also dumps cProfile
+    stats to ``<profile_dir>/<workload>-{stepped,event}.prof``.
+    """
+    known = set(workload_names())
+    unknown = [name for name in workloads if name not in known]
+    if unknown:
+        raise BenchmarkError(
+            f"unknown workload(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    if warmup is None:
+        warmup = instructions // 3
+    if repeats < 1:
+        raise BenchmarkError(f"repeats must be >= 1, got {repeats}")
+    if profile_dir is not None:
+        os.makedirs(profile_dir, exist_ok=True)
+
+    def _profile_path(name: str, mode: str) -> Optional[str]:
+        if profile_dir is None:
+            return None
+        return os.path.join(profile_dir, f"{name}-{mode}.prof")
+
+    def _best_of(mode_config, records, name, mode):
+        best_wall = None
+        result = perf = None
+        for __ in range(repeats):
+            result, wall, perf = _timed_run(
+                mode_config, records, instructions, warmup,
+                f"{name}:{mode}", profile_path=_profile_path(name, mode),
+            )
+            if best_wall is None or wall < best_wall:
+                best_wall = wall
+        return result, best_wall, perf
+
+    results: Dict[str, dict] = {}
+    for name in workloads:
+        # Workload generators are unbounded; take more records than we
+        # retire so neither run is starved at the tail, and materialise
+        # once (through the compiled-trace cache, the same path sweeps
+        # use) so generation cost and generator state never differ
+        # between the two runs.
+        records = cached_workload_trace(name, seed=seed,
+                                        instructions=instructions * 2)
+
+        stepped, stepped_wall, _ = _best_of(
+            config.with_event_driven(False), records, name, "stepped"
+        )
+        event, event_wall, event_perf = _best_of(
+            config.with_event_driven(True), records, name, "event"
+        )
+        if (stepped.cycles, stepped.instructions, stepped.ipc) != (
+            event.cycles, event.instructions, event.ipc
+        ):
+            raise BenchmarkError(
+                f"event-driven run of {name!r} diverged from cycle-stepped: "
+                f"cycles {event.cycles} vs {stepped.cycles}, "
+                f"IPC {event.ipc:.6f} vs {stepped.ipc:.6f}"
+            )
+        results[name] = {
+            "cycles": event.cycles,
+            "instructions": event.instructions,
+            "ipc": round(event.ipc, 6),
+            "stepped": {
+                "wall_s": round(stepped_wall, 4),
+                "cycles_per_sec": round(
+                    stepped.cycles / stepped_wall if stepped_wall > 0 else 0.0
+                ),
+            },
+            "event": {
+                "wall_s": round(event_wall, 4),
+                "cycles_per_sec": round(
+                    event.cycles / event_wall if event_wall > 0 else 0.0
+                ),
+                "records_per_sec": round(
+                    event.instructions / event_wall if event_wall > 0 else 0.0
+                ),
+                "cycles_skipped": int(event_perf.get("core.cycles_skipped")),
+            },
+            "speedup": round(
+                stepped_wall / event_wall if event_wall > 0 else 0.0, 2
+            ),
+        }
+
+    return {
+        "version": REPORT_VERSION,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "machine": machine,
+        "instructions": instructions,
+        "warmup": warmup,
+        "seed": seed,
+        "git_rev": _git_rev(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": results,
+    }
+
+
+def write_report(report: dict, path: str) -> None:
+    """Write a bench report as stable, diff-friendly JSON."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_baseline(path: str) -> dict:
+    """Load and validate a baseline report written by :func:`write_report`."""
+    try:
+        with open(path) as handle:
+            baseline = json.load(handle)
+    except OSError as error:
+        raise BenchmarkError(f"cannot read baseline {path!r}: {error}")
+    except ValueError as error:
+        raise BenchmarkError(f"baseline {path!r} is not valid JSON: {error}")
+    if not isinstance(baseline, dict) or "results" not in baseline:
+        raise BenchmarkError(f"baseline {path!r} has no 'results' section")
+    if baseline.get("version") != REPORT_VERSION:
+        raise BenchmarkError(
+            f"baseline {path!r} has version {baseline.get('version')!r}, "
+            f"expected {REPORT_VERSION} (re-generate with 'repro-sim bench')"
+        )
+    return baseline
+
+
+def check_against_baseline(
+    report: dict, baseline: dict, tolerance: float = 0.25
+) -> List[str]:
+    """Compare a fresh report against a baseline; return failure messages.
+
+    A workload regresses when its event-vs-stepped speedup drops more
+    than ``tolerance`` below the baseline's — a load-independent signal
+    (both modes share whatever machine the check runs on).  Workloads
+    present in only one of the two reports are ignored (the suite may
+    grow), as are baseline entries without a positive speedup.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise BenchmarkError(
+            f"tolerance must be in [0, 1), got {tolerance}"
+        )
+    failures: List[str] = []
+    # Throughput only compares like-for-like: a baseline recorded at a
+    # different run shape would make the gate silently meaningless.
+    for key in ("machine", "instructions", "warmup", "seed"):
+        if key in baseline and baseline[key] != report.get(key):
+            failures.append(
+                f"baseline not comparable: {key} is {baseline[key]!r} "
+                f"in the baseline but {report.get(key)!r} in this run"
+            )
+    if failures:
+        return failures
+    for name, entry in sorted(report.get("results", {}).items()):
+        base_entry = baseline.get("results", {}).get(name)
+        if base_entry is None:
+            continue
+        base_speedup = base_entry.get("speedup", 0.0)
+        if base_speedup <= 0.0:
+            continue
+        speedup = entry.get("speedup", 0.0)
+        floor = base_speedup * (1.0 - tolerance)
+        if speedup < floor:
+            failures.append(
+                f"{name}: speedup {speedup:.2f}x is "
+                f"{(1.0 - speedup / base_speedup) * 100:.0f}% below baseline "
+                f"{base_speedup:.2f}x (tolerance {tolerance * 100:.0f}%)"
+            )
+    return failures
+
+
+def format_report(report: dict) -> str:
+    """A compact human-readable table of a bench report."""
+    lines = [
+        f"bench: machine={report['machine']} "
+        f"instructions={report['instructions']} seed={report['seed']} "
+        f"rev={report['git_rev']}",
+        f"{'workload':<12} {'stepped':>9} {'event':>9} {'speedup':>8} "
+        f"{'Mcyc/s':>8} {'skipped':>10}",
+    ]
+    for name, entry in sorted(report["results"].items()):
+        lines.append(
+            f"{name:<12} "
+            f"{entry['stepped']['wall_s']:>8.2f}s "
+            f"{entry['event']['wall_s']:>8.2f}s "
+            f"{entry['speedup']:>7.2f}x "
+            f"{entry['event']['cycles_per_sec'] / 1e6:>8.2f} "
+            f"{entry['event']['cycles_skipped']:>10}"
+        )
+    return "\n".join(lines)

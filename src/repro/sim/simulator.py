@@ -33,6 +33,7 @@ from repro.cpu.core import OutOfOrderCore, _RunState
 from repro.errors import ReproError, SimulationError
 from repro.integrity.invariants import build_checker
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.perf.collector import PerfCollector
 from repro.sim.results import SimulationResult
 from repro.streambuf.controller import build_prefetcher
 from repro.trace.record import TraceRecord
@@ -51,11 +52,18 @@ class Simulator:
         )
         if self.controller is not None:
             self.controller.attach(self.hierarchy)
-        self.core = OutOfOrderCore(config.core, self.hierarchy)
+        self.core = OutOfOrderCore(
+            config.core, self.hierarchy, event_driven=config.event_driven
+        )
         # None when config.invariants is OFF; otherwise wired to the
         # hierarchy so per-miss/per-prefetch hooks fire from inside it.
         self.checker = build_checker(config, self.hierarchy, self.controller)
         self.hierarchy.integrity = self.checker
+        # Wall-clock timers + fast-path counters.  The collector pickles
+        # empty, so snapshots stay bit-identical whether or not (and
+        # however long) a run was measured.
+        self.perf = PerfCollector()
+        self.core.perf = self.perf
 
     def run(
         self,
@@ -117,38 +125,17 @@ class Simulator:
             )
 
         try:
-            if check_stride is None and snapshot_every is None:
-                # Fast path: one uninterrupted call into the core.
-                self.core.advance(source, state, on_warmup_end=on_warmup_end)
-            else:
-                while True:
-                    stops = []
-                    if check_stride is not None:
-                        stops.append(
-                            (state.cycle // check_stride + 1) * check_stride
-                        )
-                    if snapshot_every is not None:
-                        stops.append(
-                            (state.cycle // snapshot_every + 1) * snapshot_every
-                        )
-                    finished = self.core.advance(
-                        source,
-                        state,
-                        on_warmup_end=on_warmup_end,
-                        stop_cycle=min(stops),
-                    )
-                    if checker is not None:
-                        checker.on_cycle(state.cycle)
-                    if finished:
-                        break
-                    if (
-                        snapshot_sink is not None
-                        and snapshot_every is not None
-                        and state.cycle % snapshot_every == 0
-                    ):
-                        from repro.integrity.snapshot import SimSnapshot
-
-                        snapshot_sink(SimSnapshot.capture(self, state, label))
+            with self.perf.time("simulate"):
+                self._advance_loop(
+                    state,
+                    source,
+                    on_warmup_end,
+                    check_stride,
+                    checker,
+                    snapshot_every,
+                    snapshot_sink,
+                    label,
+                )
         except ReproError:
             # Already classified (e.g. a TraceFormatError surfacing from a
             # lazily-parsed trace iterator, or an IntegrityError from a
@@ -160,6 +147,8 @@ class Simulator:
                 f"{type(error).__name__}: {error}"
             ) from error
         stats = self.core.finish_run(state)
+        self.perf.add("sim.cycles", stats.cycles)
+        self.perf.add("sim.instructions", stats.retired)
         hierarchy = self.hierarchy
         controller = self.controller
         return SimulationResult(
@@ -195,6 +184,51 @@ class Simulator:
                 ),
             },
         )
+
+    def _advance_loop(
+        self,
+        state: _RunState,
+        source: Iterator[TraceRecord],
+        on_warmup_end: Callable,
+        check_stride: Optional[int],
+        checker,
+        snapshot_every: Optional[int],
+        snapshot_sink: Optional[Callable],
+        label: str,
+    ) -> None:
+        """The chunked driver body, split out so :meth:`_drive` can time it."""
+        if check_stride is None and snapshot_every is None:
+            # Fast path: one uninterrupted call into the core.
+            self.core.advance(source, state, on_warmup_end=on_warmup_end)
+        else:
+            while True:
+                stops = []
+                if check_stride is not None:
+                    stops.append(
+                        (state.cycle // check_stride + 1) * check_stride
+                    )
+                if snapshot_every is not None:
+                    stops.append(
+                        (state.cycle // snapshot_every + 1) * snapshot_every
+                    )
+                finished = self.core.advance(
+                    source,
+                    state,
+                    on_warmup_end=on_warmup_end,
+                    stop_cycle=min(stops),
+                )
+                if checker is not None:
+                    checker.on_cycle(state.cycle)
+                if finished:
+                    break
+                if (
+                    snapshot_sink is not None
+                    and snapshot_every is not None
+                    and state.cycle % snapshot_every == 0
+                ):
+                    from repro.integrity.snapshot import SimSnapshot
+
+                    snapshot_sink(SimSnapshot.capture(self, state, label))
 
 
 def simulate(

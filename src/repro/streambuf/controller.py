@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.config import PrefetchConfig, PrefetcherKind, StreamBufferConfig
-from repro.memory.hierarchy import MemoryHierarchy, PrefetcherPort
+from repro.memory.hierarchy import NEVER, MemoryHierarchy, PrefetcherPort
 from repro.predictors.base import AddressPredictor, StreamState
 from repro.predictors.sfm import StrideFilteredMarkovPredictor
 from repro.predictors.stride import TwoDeltaStrideTable
@@ -51,8 +51,8 @@ class SequentialPredictor(AddressPredictor):
         return state.last_address
 
 
-#: Sentinel "no refresh pending" cycle.
-_NEVER = 1 << 62
+#: Sentinel "no refresh pending" cycle (shared with the skip-ahead horizon).
+_NEVER = NEVER
 
 
 class StreamBufferController(PrefetcherPort):
@@ -224,6 +224,26 @@ class StreamBufferController(PrefetcherPort):
             self._predict_one(cycle)
         if not self._prefetch_skip:
             self._prefetch_one(cycle)
+
+    def next_event_cycle(self, cycle: int) -> int:
+        """Earliest cycle >= ``cycle`` at which :meth:`tick` could act.
+
+        Mirrors :meth:`tick`'s own gating exactly: a pending prediction
+        means next cycle is interesting; pending prefetches wake at the
+        next free L1-L2 bus slot; in-flight fills wake the refresh scan
+        at ``_next_refresh``.  Pure query — the event-driven core loop
+        calls this every quiescent cycle.
+        """
+        if not self._any_allocated:
+            return _NEVER
+        if not self._predict_skip:
+            return cycle
+        horizon = self._next_refresh
+        if not self._prefetch_skip and self.hierarchy is not None:
+            slot = self.hierarchy.next_prefetch_slot(cycle)
+            if slot < horizon:
+                horizon = slot
+        return horizon
 
     def _predict_one(self, cycle: int) -> None:
         epoch = self._training_epoch

@@ -78,17 +78,21 @@ class PriorityScheduler(Scheduler):
     def _pick(
         self, buffers: List[StreamBuffer], eligible: Eligible
     ) -> Optional[StreamBuffer]:
-        candidates = [buffer for buffer in buffers if eligible(buffer)]
-        if not candidates:
-            return None
-        best_priority = max(int(buffer.priority) for buffer in candidates)
-        top = [
-            buffer for buffer in candidates if int(buffer.priority) == best_priority
-        ]
+        # One pass, no candidate lists: this runs per cycle per port.
         # Recency tie-break: among equal priorities the most recently
         # useful buffer wins the port, keeping the live stream ahead of
         # stale ones (our reading of the paper's "LRU policy" for ties).
-        return max(top, key=lambda buffer: buffer.last_use_cycle)
+        # Strict > keeps the first of fully tied buffers, like max().
+        best = None
+        best_key = (0, 0)
+        for buffer in buffers:
+            if not eligible(buffer):
+                continue
+            key = (int(buffer.priority), buffer.last_use_cycle)
+            if best is None or key > best_key:
+                best = buffer
+                best_key = key
+        return best
 
     def pick_for_prediction(
         self, buffers: List[StreamBuffer], eligible: Eligible

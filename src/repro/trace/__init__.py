@@ -1,5 +1,11 @@
 """Instruction-trace substrate: records, sources, and serialization."""
 
+from repro.trace.binfmt import (
+    compile_trace,
+    load_binary_trace,
+    load_binary_trace_list,
+    sniff_binary,
+)
 from repro.trace.record import InstrKind, TraceRecord, OP_LATENCY
 from repro.trace.stream import (
     ListTrace,
@@ -16,4 +22,8 @@ __all__ = [
     "TraceSource",
     "counted",
     "materialize",
+    "compile_trace",
+    "load_binary_trace",
+    "load_binary_trace_list",
+    "sniff_binary",
 ]

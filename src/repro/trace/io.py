@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import IO, Iterable, Iterator, List, Optional, Union
 
 from repro.errors import TraceFormatError
+from repro.trace.binfmt import load_binary_trace, sniff_binary
 from repro.trace.record import InstrKind, TraceRecord
 
 _HEADER = "# repro-trace v1"
@@ -124,6 +125,11 @@ def load_trace(
     (carrying ``line_number`` and ``line``) is appended to ``errors``
     when a list is supplied, so callers can count and report them.  A
     missing or wrong header always raises: the file cannot be a trace.
+
+    A path that starts with the compiled-trace magic is transparently
+    loaded via :func:`repro.trace.binfmt.load_binary_trace`; compiled
+    traces have no malformed-record state, so ``strict``/``errors``
+    are moot there (validation is wholesale, at the header).
     """
 
     def _read(handle: IO[str]) -> Iterator[TraceRecord]:
@@ -147,6 +153,9 @@ def load_trace(
                     errors.append(error)
 
     if isinstance(source, str):
+        if sniff_binary(source):
+            yield from load_binary_trace(source)
+            return
         try:
             handle = open(source)
         except OSError as error:

@@ -10,7 +10,14 @@ relative to the 32 KB L1.  See DESIGN.md for the substitution argument.
 """
 
 from repro.workloads.base import HeapModel, PcAllocator, WorkloadGenerator
+from repro.workloads.cache import (
+    cache_dir,
+    cache_path,
+    cached_workload_trace,
+    clear_cache,
+)
 from repro.workloads.registry import (
+    POINTER_WORKLOADS,
     WORKLOADS,
     get_workload,
     get_workload_generator,
@@ -21,7 +28,12 @@ __all__ = [
     "HeapModel",
     "PcAllocator",
     "WorkloadGenerator",
+    "POINTER_WORKLOADS",
     "WORKLOADS",
+    "cache_dir",
+    "cache_path",
+    "cached_workload_trace",
+    "clear_cache",
     "get_workload",
     "get_workload_generator",
     "workload_names",

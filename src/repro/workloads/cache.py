@@ -1,0 +1,118 @@
+"""On-disk cache of compiled workload traces.
+
+Workload generators are deterministic, so a ``(name, seed, count)``
+triple fully identifies a trace prefix.  The first request compiles
+that prefix into the binary trace format (:mod:`repro.trace.binfmt`);
+later requests — other sweep points, other processes, other days —
+mmap it straight back instead of re-running the generator.
+
+The cache directory is ``$REPRO_TRACE_CACHE`` when set, else
+``~/.cache/repro-sim/traces``.  File names embed the binary format
+version, so a format bump simply misses the old files rather than
+tripping over stale headers; a corrupted or stale file is recompiled
+in place.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from typing import List, Optional
+
+from repro.errors import TraceFormatError
+from repro.trace.binfmt import (
+    SUFFIX,
+    VERSION,
+    compile_trace,
+    load_binary_trace_list,
+)
+from repro.trace.record import TraceRecord
+from repro.workloads.registry import get_workload
+
+__all__ = ["cache_dir", "cache_path", "cached_workload_trace", "clear_cache"]
+
+
+def cache_dir() -> str:
+    """The directory compiled workload traces live in."""
+    override = os.environ.get("REPRO_TRACE_CACHE")
+    if override:
+        return override
+    return os.path.join(
+        os.path.expanduser("~"), ".cache", "repro-sim", "traces"
+    )
+
+
+def cache_path(name: str, seed: int, instructions: int) -> str:
+    """Cache file for ``instructions`` records of ``name`` at ``seed``."""
+    filename = f"{name}-s{seed}-n{instructions}-v{VERSION}{SUFFIX}"
+    return os.path.join(cache_dir(), filename)
+
+
+def cached_workload_trace(
+    name: str,
+    seed: int = 1,
+    instructions: int = 0,
+    refresh: bool = False,
+) -> List[TraceRecord]:
+    """Load ``instructions`` records of workload ``name``, cached on disk.
+
+    On a cache miss (or ``refresh=True``, or an unreadable/stale cache
+    file) the generator runs once and its prefix is compiled through
+    :func:`repro.trace.binfmt.compile_trace`; either way the returned
+    records are exactly what ``get_workload(name, seed=seed)`` yields.
+    ``instructions`` must be positive: generators are unbounded, so an
+    unlimited cache entry cannot exist.
+
+    If the cache directory cannot be created or written (read-only
+    home, sandbox), the generator result is returned uncached — the
+    cache is an accelerator, never a requirement.
+    """
+    if instructions <= 0:
+        raise ValueError("cached_workload_trace needs instructions > 0")
+    path = cache_path(name, seed, instructions)
+    if not refresh:
+        records = _try_load(path, instructions)
+        if records is not None:
+            return records
+    # Validate the name before touching the filesystem.
+    source = get_workload(name, seed=seed)
+    try:
+        os.makedirs(cache_dir(), exist_ok=True)
+        compile_trace(path, source, limit=instructions)
+    except (OSError, TraceFormatError):
+        return list(itertools.islice(get_workload(name, seed=seed), instructions))
+    records = _try_load(path, instructions)
+    if records is not None:
+        return records
+    return list(itertools.islice(get_workload(name, seed=seed), instructions))
+
+
+def _try_load(path: str, instructions: int) -> Optional[List[TraceRecord]]:
+    """Load a cache file; None when absent, stale, corrupt, or short."""
+    if not os.path.exists(path):
+        return None
+    try:
+        records = load_binary_trace_list(path)
+    except TraceFormatError:
+        return None
+    if len(records) != instructions:
+        return None
+    return records
+
+
+def clear_cache() -> int:
+    """Delete all compiled traces in the cache; return how many."""
+    directory = cache_dir()
+    removed = 0
+    try:
+        entries = os.listdir(directory)
+    except OSError:
+        return 0
+    for entry in entries:
+        if entry.endswith(SUFFIX):
+            try:
+                os.unlink(os.path.join(directory, entry))
+                removed += 1
+            except OSError:
+                pass
+    return removed

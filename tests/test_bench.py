@@ -1,0 +1,165 @@
+"""The perf-regression harness: run_bench, baselines, and the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import (
+    BenchmarkError,
+    check_against_baseline,
+    format_report,
+    load_baseline,
+    run_bench,
+    write_report,
+)
+from repro.sim import baseline_config
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path_factory, monkeypatch):
+    monkeypatch.setenv(
+        "REPRO_TRACE_CACHE", str(tmp_path_factory.mktemp("traces"))
+    )
+
+
+def _small_report(**kwargs):
+    return run_bench(
+        ["health"], baseline_config(), machine="base",
+        instructions=2_000, repeats=1, **kwargs
+    )
+
+
+class TestRunBench:
+    def test_report_shape_and_agreement(self):
+        report = _small_report()
+        assert report["version"] == 1
+        assert report["machine"] == "base"
+        entry = report["results"]["health"]
+        assert entry["cycles"] > 0
+        assert entry["stepped"]["wall_s"] > 0
+        assert entry["event"]["cycles_per_sec"] > 0
+        assert entry["event"]["cycles_skipped"] > 0
+        assert entry["speedup"] > 0
+        assert "health" in format_report(report)
+
+    def test_unknown_workload(self):
+        with pytest.raises(BenchmarkError, match="unknown workload"):
+            run_bench(["quake"], baseline_config())
+
+    def test_bad_repeats(self):
+        with pytest.raises(BenchmarkError, match="repeats"):
+            run_bench(
+                ["health"], baseline_config(), instructions=500, repeats=0
+            )
+
+    def test_profile_dump(self, tmp_path):
+        _small_report(profile_dir=str(tmp_path / "prof"))
+        assert (tmp_path / "prof" / "health-event.prof").exists()
+        assert (tmp_path / "prof" / "health-stepped.prof").exists()
+
+
+class TestBaseline:
+    def test_round_trip_and_self_check(self, tmp_path):
+        report = _small_report()
+        path = str(tmp_path / "bench.json")
+        write_report(report, path)
+        baseline = load_baseline(path)
+        assert check_against_baseline(report, baseline) == []
+
+    def test_detects_regression(self, tmp_path):
+        report = _small_report()
+        baseline = json.loads(json.dumps(report))
+        baseline["results"]["health"]["speedup"] *= 10
+        failures = check_against_baseline(report, baseline, tolerance=0.25)
+        assert len(failures) == 1
+        assert "below baseline" in failures[0]
+
+    def test_rejects_mismatched_run_shape(self):
+        report = _small_report()
+        baseline = json.loads(json.dumps(report))
+        baseline["instructions"] = 50_000
+        failures = check_against_baseline(report, baseline)
+        assert len(failures) == 1
+        assert "not comparable" in failures[0]
+
+    def test_ignores_unshared_workloads(self):
+        report = _small_report()
+        assert check_against_baseline(report, {"results": {}}) == []
+
+    def test_rejects_bad_tolerance(self):
+        report = _small_report()
+        with pytest.raises(BenchmarkError, match="tolerance"):
+            check_against_baseline(report, report, tolerance=1.5)
+
+    def test_load_baseline_errors(self, tmp_path):
+        with pytest.raises(BenchmarkError, match="cannot read"):
+            load_baseline(str(tmp_path / "missing.json"))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(BenchmarkError, match="not valid JSON"):
+            load_baseline(str(bad))
+        versionless = tmp_path / "old.json"
+        versionless.write_text('{"results": {}, "version": 99}')
+        with pytest.raises(BenchmarkError, match="version"):
+            load_baseline(str(versionless))
+
+
+class TestBenchCommand:
+    def test_quick_writes_report(self, tmp_path, capsys):
+        out = str(tmp_path / "BENCH_core.json")
+        code = main(
+            ["bench", "--quick", "--workloads", "health,burg",
+             "--instructions", "2000", "--repeats", "1", "--out", out]
+        )
+        assert code == 0
+        report = json.load(open(out))
+        assert set(report["results"]) == {"health", "burg"}
+        assert "speedup" in capsys.readouterr().out
+
+    def test_check_gate(self, tmp_path, capsys):
+        out = str(tmp_path / "bench.json")
+        args = ["bench", "--workloads", "health", "--instructions", "2000",
+                "--repeats", "1", "--out", out]
+        assert main(args) == 0
+        # Self-comparison passes the gate ...
+        assert main(args + ["--check", out]) == 0
+        assert "no regressions" in capsys.readouterr().out
+        # ... an inflated baseline fails it.
+        baseline = json.load(open(out))
+        baseline["results"]["health"]["speedup"] *= 10
+        inflated = str(tmp_path / "inflated.json")
+        json.dump(baseline, open(inflated, "w"))
+        assert main(args + ["--check", inflated]) == 1
+        assert "regression" in capsys.readouterr().err
+
+
+class TestTraceCompileCommand:
+    def test_compile_workload(self, tmp_path, capsys):
+        from repro.trace import load_binary_trace_list
+
+        out = str(tmp_path / "health.rtb")
+        code = main(
+            ["trace", "compile", "health", "--out", out,
+             "--instructions", "300", "--seed", "2"]
+        )
+        assert code == 0
+        assert "compiled 300 records" in capsys.readouterr().out
+        assert len(load_binary_trace_list(out)) == 300
+
+    def test_compile_text_trace(self, tmp_path):
+        from repro.trace import load_binary_trace_list
+        from repro.trace.io import load_trace_list
+
+        text = str(tmp_path / "t.trace")
+        assert main(
+            ["trace", "gs", "--out", text, "--instructions", "200"]
+        ) == 0
+        out = str(tmp_path / "t.rtb")
+        assert main(["trace", "compile", text, "--out", out]) == 0
+        assert load_binary_trace_list(out) == load_trace_list(text)
+
+    def test_compile_needs_source(self, tmp_path, capsys):
+        out = str(tmp_path / "x.rtb")
+        assert main(["trace", "compile", "--out", out]) != 0
+        assert "workload name" in capsys.readouterr().err

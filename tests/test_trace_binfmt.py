@@ -1,0 +1,182 @@
+"""The compiled binary trace format and the on-disk workload cache."""
+
+import itertools
+import os
+import struct
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace import compile_trace, load_binary_trace_list, sniff_binary
+from repro.trace.binfmt import MAGIC, VERSION
+from repro.trace.io import load_trace_list, save_trace
+from repro.trace.record import InstrKind, TraceRecord
+from repro.workloads import (
+    cache_path,
+    cached_workload_trace,
+    clear_cache,
+    get_workload,
+)
+
+RECORDS = [
+    TraceRecord(InstrKind.IALU, pc=0x1000),
+    TraceRecord(InstrKind.LOAD, pc=0x1004, addr=0xDEAD_BEE0, dep1=1),
+    TraceRecord(InstrKind.STORE, pc=0x1008, addr=0xFEED_F000, dep1=2, dep2=1),
+    TraceRecord(InstrKind.BRANCH, pc=0x100C, taken=True),
+    TraceRecord(InstrKind.FDIV, pc=0x1010, dep1=3),
+    TraceRecord(InstrKind.NOP, pc=0x1014),
+]
+
+
+class TestRoundTrip:
+    def test_exact_record_sequence(self, tmp_path):
+        path = str(tmp_path / "t.rtb")
+        assert compile_trace(path, iter(RECORDS)) == len(RECORDS)
+        assert load_binary_trace_list(path) == RECORDS
+
+    def test_matches_text_parser_on_workload(self, tmp_path):
+        records = list(itertools.islice(get_workload("gs", seed=3), 500))
+        binary = str(tmp_path / "gs.rtb")
+        text = str(tmp_path / "gs.trace")
+        compile_trace(binary, iter(records))
+        save_trace(text, iter(records))
+        assert load_binary_trace_list(binary) == load_trace_list(text)
+
+    def test_limit_truncates(self, tmp_path):
+        path = str(tmp_path / "t.rtb")
+        assert compile_trace(path, iter(RECORDS), limit=2) == 2
+        assert load_binary_trace_list(path) == RECORDS[:2]
+
+    def test_load_trace_autodetects_binary(self, tmp_path):
+        # The generic loader routes *.rtb content through the binary
+        # reader without being told; strict/errors knobs only apply to
+        # text traces.
+        path = str(tmp_path / "anything.dat")
+        compile_trace(path, iter(RECORDS))
+        assert sniff_binary(path)
+        assert load_trace_list(path) == RECORDS
+
+    def test_text_trace_is_not_sniffed_as_binary(self, tmp_path):
+        path = str(tmp_path / "t.trace")
+        save_trace(path, iter(RECORDS))
+        assert not sniff_binary(path)
+
+    def test_compiling_a_lenient_text_load_keeps_skip_counts(self, tmp_path):
+        # A damaged text trace loaded with strict=False skips bad lines;
+        # compiling that stream preserves exactly the surviving records.
+        from repro.trace.io import load_trace
+
+        text = str(tmp_path / "damaged.trace")
+        save_trace(text, iter(RECORDS))
+        with open(text) as handle:
+            lines = handle.read().splitlines()
+        lines.insert(3, "LOAD not-a-number 0x0")
+        lines.append("GIBBERISH")
+        with open(text, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+
+        skipped = []
+        survivors = list(load_trace(text, strict=False, errors=skipped))
+        assert len(skipped) == 2
+        assert survivors == RECORDS
+
+        binary = str(tmp_path / "damaged.rtb")
+        compile_trace(binary, load_trace(text, strict=False))
+        assert load_binary_trace_list(binary) == survivors
+
+
+class TestHeaderValidation:
+    def _write(self, tmp_path, blob):
+        path = str(tmp_path / "bad.rtb")
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        return path
+
+    def _compiled(self, tmp_path):
+        path = str(tmp_path / "good.rtb")
+        compile_trace(path, iter(RECORDS))
+        with open(path, "rb") as handle:
+            return path, bytearray(handle.read())
+
+    def test_bad_magic(self, tmp_path):
+        path = self._write(tmp_path, b"NOTATRACE" + b"\x00" * 40)
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            load_binary_trace_list(path)
+
+    def test_stale_version(self, tmp_path):
+        _, blob = self._compiled(tmp_path)
+        struct.pack_into("<H", blob, len(MAGIC), VERSION + 1)
+        path = self._write(tmp_path, bytes(blob))
+        with pytest.raises(TraceFormatError, match="stale"):
+            load_binary_trace_list(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path, blob = self._compiled(tmp_path)
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob[:-5]))
+        with pytest.raises(TraceFormatError, match="corrupt"):
+            load_binary_trace_list(path)
+
+    def test_unknown_kind_byte(self, tmp_path):
+        _, blob = self._compiled(tmp_path)
+        blob[24] = 250  # first record's kind: no such InstrKind
+        path = self._write(tmp_path, bytes(blob))
+        with pytest.raises(TraceFormatError, match="kind"):
+            load_binary_trace_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = self._write(tmp_path, b"")
+        with pytest.raises(TraceFormatError):
+            load_binary_trace_list(path)
+
+
+class TestWorkloadCache:
+    @pytest.fixture(autouse=True)
+    def _isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "cache"))
+
+    def test_miss_compiles_then_hit_loads(self):
+        first = cached_workload_trace("health", seed=2, instructions=300)
+        path = cache_path("health", 2, 300)
+        assert os.path.exists(path)
+        mtime = os.path.getmtime(path)
+        again = cached_workload_trace("health", seed=2, instructions=300)
+        assert again == first
+        assert os.path.getmtime(path) == mtime
+        assert first == list(
+            itertools.islice(get_workload("health", seed=2), 300)
+        )
+
+    def test_corrupt_cache_file_falls_back(self):
+        cached_workload_trace("burg", seed=1, instructions=100)
+        path = cache_path("burg", 1, 100)
+        with open(path, "wb") as handle:
+            handle.write(b"garbage")
+        records = cached_workload_trace("burg", seed=1, instructions=100)
+        assert records == list(
+            itertools.islice(get_workload("burg", seed=1), 100)
+        )
+
+    def test_refresh_recompiles(self):
+        cached_workload_trace("sis", seed=1, instructions=50)
+        path = cache_path("sis", 1, 50)
+        with open(path, "wb") as handle:
+            handle.write(b"garbage")
+        cached_workload_trace("sis", seed=1, instructions=50, refresh=True)
+        assert load_binary_trace_list(path) == list(
+            itertools.islice(get_workload("sis", seed=1), 50)
+        )
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            cached_workload_trace("quake", instructions=10)
+
+    def test_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            cached_workload_trace("health", instructions=0)
+
+    def test_clear_cache(self):
+        cached_workload_trace("health", seed=1, instructions=20)
+        cached_workload_trace("gs", seed=1, instructions=20)
+        assert clear_cache() == 2
+        assert clear_cache() == 0

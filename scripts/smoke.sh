@@ -44,6 +44,29 @@ python -m repro bench --quick --out "$bench_out/BENCH_core.json" \
 rm -rf "$bench_out"
 
 echo
+echo "== observability: metrics, event trace, reports =="
+obs_dir="$(mktemp -d)"
+python -m repro run health --machine psb --instructions 5000 \
+    --metrics --metrics-out "$obs_dir/metrics.json" \
+    --trace-events "$obs_dir/ev.jsonl"
+python -m repro report --metrics "$obs_dir/metrics.json" \
+    --events "$obs_dir/ev.jsonl" --out "$obs_dir/report.md"
+python -m repro report --metrics "$obs_dir/metrics.json" \
+    --out "$obs_dir/report.html"
+grep -q '## Hit-rate breakdown' "$obs_dir/report.md"
+grep -q '| sb0 |' "$obs_dir/report.md"
+grep -q 'busy cycles' "$obs_dir/report.md"
+grep -q 'Predictor accuracy' "$obs_dir/report.md"
+head -1 "$obs_dir/report.html" | grep -q '<!DOCTYPE html>'
+echo "smoke: observability reports render"
+rm -rf "$obs_dir"
+
+echo
+echo "== docs: links, snippets, documented commands, docstrings =="
+python scripts/check_docs.py --run
+python scripts/check_docstrings.py
+
+echo
 echo "== end-to-end campaign with fault injection =="
 campaign_dir="$(mktemp -d)"
 trap 'rm -rf "$campaign_dir"' EXIT

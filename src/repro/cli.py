@@ -5,6 +5,8 @@ Usage (also available as ``python -m repro``)::
     repro-sim workloads
     repro-sim run health --machine psb --instructions 50000
     repro-sim run health --invariants full
+    repro-sim run health --metrics --trace-events ev.jsonl
+    repro-sim report --events ev.jsonl --out report.html
     repro-sim compare health --instructions 50000
     repro-sim trace burg --out burg.trace --instructions 20000
     repro-sim check health --machine psb --instructions 20000
@@ -75,6 +77,34 @@ def _build_parser() -> argparse.ArgumentParser:
         "--lax", action="store_true",
         help="with --trace: skip malformed records instead of failing "
              "(the skipped count is reported in the summary)",
+    )
+    run.add_argument(
+        "--metrics", action="store_true",
+        help="sample per-component metrics over time and write them as "
+             "JSON (see --metrics-out); 'repro-sim report' renders them",
+    )
+    run.add_argument(
+        "--metrics-interval", type=int, default=1000, metavar="CYCLES",
+        help="cycles between metric samples (default: 1000)",
+    )
+    run.add_argument(
+        "--metrics-out", default="metrics.json", metavar="PATH",
+        help="where --metrics writes its payload (default: metrics.json)",
+    )
+    run.add_argument(
+        "--trace-events", default=None, metavar="PATH",
+        help="record structured events (allocations, prefetch lifecycle, "
+             "priority changes, demand misses) to PATH as JSON Lines",
+    )
+    run.add_argument(
+        "--trace-capacity", type=int, default=None, metavar="N",
+        help="event ring-buffer size; oldest events drop beyond it "
+             "(default: 65536)",
+    )
+    run.add_argument(
+        "--trace-filter", default=None, metavar="CATS",
+        help="comma-separated event categories to keep "
+             "(alloc,prefetch,priority,demand,integrity; default: all)",
     )
 
     compare = commands.add_parser(
@@ -160,10 +190,36 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     report = commands.add_parser(
-        "report", help="write a markdown comparison report"
+        "report",
+        help="render a run, sweep, or comparison into markdown/HTML",
+        description=(
+            "Three modes: with no positional, render the metrics payload "
+            "of a previous 'run --metrics' (plus its --trace-events file "
+            "if given) into a single-run report; with --campaign DIR, "
+            "summarize a sweep campaign from its manifest; with a "
+            "workload name, simulate the Figure 5 machines and write the "
+            "legacy comparison report.  An --out ending in .html renders "
+            "a self-contained HTML page instead of markdown."
+        ),
     )
-    _add_run_arguments(report)
-    report.add_argument("--out", required=True, help="output markdown path")
+    _add_run_arguments(report, optional_workload=True)
+    report.add_argument(
+        "--out", default="report.md",
+        help="output path; .html renders HTML (default: report.md)",
+    )
+    report.add_argument(
+        "--metrics", default="metrics.json", metavar="PATH",
+        help="metrics payload from 'run --metrics' "
+             "(default: metrics.json)",
+    )
+    report.add_argument(
+        "--events", default=None, metavar="PATH",
+        help="JSONL event file from 'run --trace-events' to summarize",
+    )
+    report.add_argument(
+        "--campaign", default=None, metavar="DIR",
+        help="render a sweep campaign directory instead of a single run",
+    )
 
     sweep = commands.add_parser(
         "sweep",
@@ -300,6 +356,17 @@ def _command_run(args: argparse.Namespace) -> int:
             field="run.lax",
         )
     config = _config_of(args, args.machine)
+    if args.metrics:
+        config = config.with_metrics(args.metrics_interval)
+    event_trace = None
+    if args.trace_events is not None:
+        from repro.obs import EventTrace, parse_categories
+        from repro.obs.tracing import DEFAULT_CAPACITY
+
+        event_trace = EventTrace(
+            capacity=args.trace_capacity or DEFAULT_CAPACITY,
+            categories=parse_categories(args.trace_filter),
+        )
     skipped: list = []
     if args.trace is not None:
         from repro.trace.io import load_trace
@@ -309,8 +376,10 @@ def _command_run(args: argparse.Namespace) -> int:
     else:
         records = get_workload(args.workload, seed=args.seed)
         source_name = args.workload
-    result = simulate(
-        config,
+    from repro.sim.simulator import Simulator
+
+    simulator = Simulator(config, event_trace=event_trace)
+    result = simulator.run(
         records,
         max_instructions=args.instructions,
         warmup_instructions=_warmup_of(args),
@@ -345,6 +414,29 @@ def _command_run(args: argparse.Namespace) -> int:
             f"warning: skipped {len(skipped)} malformed trace record(s) "
             "(--lax)", file=sys.stderr,
         )
+    if args.metrics:
+        import json
+
+        from repro.obs import metrics_payload
+
+        payload = metrics_payload(
+            simulator, result,
+            meta={
+                "workload": source_name,
+                "machine": args.machine,
+                "seed": args.seed,
+            },
+        )
+        with open(args.metrics_out, "w") as handle:
+            json.dump(payload, handle, indent=1)
+        print(f"wrote metrics to {args.metrics_out}")
+    if event_trace is not None:
+        written = event_trace.write_jsonl(args.trace_events)
+        note = ""
+        if event_trace.dropped:
+            note = (f" ({event_trace.dropped} older events dropped by the "
+                    f"ring buffer)")
+        print(f"wrote {written} events to {args.trace_events}{note}")
     return 0
 
 
@@ -385,6 +477,36 @@ def _command_compare(args: argparse.Namespace) -> int:
 
 
 def _command_report(args: argparse.Namespace) -> int:
+    from repro.obs import report as obs_report
+
+    if args.campaign is not None:
+        document = obs_report.campaign_report(args.campaign)
+        title = f"Campaign report: {args.campaign}"
+    elif args.workload is not None:
+        document = _comparison_document(args)
+        title = f"Comparison report: {args.workload}"
+    else:
+        payload = obs_report.load_metrics(args.metrics)
+        events = None
+        if args.events is not None:
+            from repro.obs import read_jsonl
+
+            events = read_jsonl(args.events)
+        meta = payload.get("meta", {})
+        title = "Run report"
+        if meta.get("workload"):
+            title = (
+                f"Run report: {meta['workload']} on "
+                f"'{meta.get('machine', '?')}'"
+            )
+        document = obs_report.run_report(payload, events=events, title=title)
+    kind = obs_report.write_report(document, args.out, title=title)
+    print(f"wrote {kind} report to {args.out}")
+    return 0
+
+
+def _comparison_document(args: argparse.Namespace) -> str:
+    """The legacy mode: simulate the Figure 5 machines and compare them."""
     from repro.analysis.summary import comparison_report
 
     warmup = _warmup_of(args)
@@ -399,11 +521,7 @@ def _command_report(args: argparse.Namespace) -> int:
             warmup_instructions=warmup,
             label=label,
         )
-    document = comparison_report(args.workload, results)
-    with open(args.out, "w") as handle:
-        handle.write(document)
-    print(f"wrote report to {args.out}")
-    return 0
+    return comparison_report(args.workload, results)
 
 
 def _command_trace(args: argparse.Namespace) -> int:

@@ -154,6 +154,20 @@ class _RunState:
         """
         return self.fetched + (1 if self.pending_record is not None else 0)
 
+    def observable_state(self):
+        """Core-progress probes for the observability layer.
+
+        Returns ``name -> zero-argument reader`` over this run's state.
+        The readers are sampled at ``advance`` boundaries, where the
+        locals-to-state sync guarantees every field is current.
+        """
+        return {
+            "retired": lambda: float(self.retired),
+            "fetched": lambda: float(self.fetched),
+            "rob_occupancy": lambda: float(len(self.rob) - self.rob_head),
+            "lsq_occupancy": lambda: float(self.lsq_occupancy),
+        }
+
     def __getstate__(self):
         return {name: getattr(self, name) for name in self.__slots__}
 

@@ -119,7 +119,15 @@ class Bus:
             return 0.0
         return min(1.0, self.busy_cycles / total_cycles)
 
+    def stats(self) -> dict:
+        """Cumulative activity counters (for probes and reports)."""
+        return {
+            "busy_cycles": self.busy_cycles,
+            "transactions": self.transactions,
+        }
+
     def reset_stats(self) -> None:
+        """Zero the activity counters (fired at the warm-up boundary)."""
         self.busy_cycles = 0
         self.transactions = 0
 

@@ -138,6 +138,12 @@ class MemoryHierarchy:
         #: Optional :class:`repro.integrity.InvariantChecker`; when set,
         #: its per-miss / per-prefetch hooks fire from the access paths.
         self.integrity = None
+        #: Optional :class:`repro.obs.EventTrace`; when set, demand
+        #: misses emit structured events (category ``demand``).
+        self.obs_trace = None
+        #: Optional :class:`repro.obs.HistogramMetric` observing every
+        #: demand miss latency; set by :func:`repro.obs.wire_simulator`.
+        self.obs_latency_hist = None
         # Pending fills: (ready_cycle, block, dirty) min-heaps.
         self._l1_fills: List[Tuple[int, int, bool]] = []
         self._l2_fills: List[Tuple[int, int, bool]] = []
@@ -155,6 +161,10 @@ class MemoryHierarchy:
         self.load_latency = Accumulator("load-latency")
         self.prefetches_issued = 0
         self.prefetches_redundant = 0
+        # Where true demand misses were ultimately served from (the
+        # report's hit-rate breakdown needs L2 vs memory separated).
+        self.demand_l2_fetches = 0
+        self.demand_mem_fetches = 0
 
     # ------------------------------------------------------------------
     # Internal fill bookkeeping
@@ -298,6 +308,10 @@ class MemoryHierarchy:
             request_cycle = max(request_cycle, self.l1_mshr.earliest_ready())
             self.l1_mshr.retire_ready(request_cycle)
         done, served = self._fetch_from_l2(address, request_cycle)
+        if served == "l2":
+            self.demand_l2_fetches += 1
+        else:
+            self.demand_mem_fetches += 1
         self.l1_mshr.allocate(block, done)
         heapq.heappush(self._l1_fills, (done, block, is_store))
         if done < self._drain_due:
@@ -308,9 +322,17 @@ class MemoryHierarchy:
         )
 
     def _miss_result(self, result: AccessResult, cycle: int) -> AccessResult:
-        """Fire the integrity layer's per-miss hook on the way out."""
+        """Fire the integrity and observability hooks on the way out."""
         if self.integrity is not None:
             self.integrity.on_miss(cycle)
+        if self.obs_latency_hist is not None:
+            self.obs_latency_hist.observe(result.latency)
+        trace = self.obs_trace
+        if trace is not None and trace.wants("demand"):
+            trace.emit(
+                cycle, "demand", "miss",
+                served_by=result.served_by, latency=result.latency,
+            )
         return result
 
     def _finish_miss(
@@ -395,16 +417,23 @@ class MemoryHierarchy:
             "hierarchy.l2_mem_bus_transactions": float(
                 self.l2_mem_bus.transactions
             ),
+            "hierarchy.demand_l2_fetches": float(self.demand_l2_fetches),
+            "hierarchy.demand_mem_fetches": float(self.demand_mem_fetches),
             "hierarchy.tlb_misses": float(self.tlb.misses),
         }
 
     def reset_stats(self) -> None:
+        """Zero every statistic (fired at the warm-up boundary)."""
         self.demand_accesses = 0
         self.demand_misses = 0
         self.sb_hits = 0
         self.sb_pending_hits = 0
         self.prefetches_issued = 0
         self.prefetches_redundant = 0
+        self.demand_l2_fetches = 0
+        self.demand_mem_fetches = 0
+        if self.obs_latency_hist is not None:
+            self.obs_latency_hist.reset()
         self.load_latency.reset()
         self.l1.reset_stats()
         self.l2.reset_stats()

@@ -38,6 +38,7 @@ class MshrFile:
         return self._inflight.get(block_addr)
 
     def is_full(self) -> bool:
+        """True when every register holds an outstanding fill."""
         return len(self._inflight) >= self.num_entries
 
     def earliest_ready(self) -> int:
@@ -75,7 +76,18 @@ class MshrFile:
         return done
 
     def note_full_stall(self) -> None:
+        """Count one access that found the file full and had to wait."""
         self.full_stalls += 1
+
+    def stats(self) -> dict:
+        """Cumulative activity counters (for probes and reports)."""
+        return {
+            "allocations": self.allocations,
+            "releases": self.releases,
+            "merges": self.merges,
+            "full_stalls": self.full_stalls,
+            "occupancy": len(self._inflight),
+        }
 
     def in_flight_blocks(self) -> Dict[int, int]:
         """A copy of the in-flight map (for tests and introspection)."""

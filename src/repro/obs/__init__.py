@@ -1,0 +1,266 @@
+"""Observability: structured metrics, event tracing, and run reports.
+
+``repro.obs`` makes per-component behaviour — stream-buffer hit rates,
+predictor accuracy, bus occupancy, priority-counter dynamics — visible
+*over time* instead of only as end-of-run aggregates.  Three pieces:
+
+- :mod:`repro.obs.metrics` — a typed metrics registry.  The simulator's
+  components are wired in *pull* style: probes read the counters each
+  component already maintains, and the registry samples them every
+  ``SimConfig.metrics_interval`` cycles at cycle boundaries the driver
+  already stops at.  Hot paths carry no instrumentation, results are
+  bit-identical with metrics on or off, and the disabled path is a
+  shared no-op sink.
+- :mod:`repro.obs.tracing` — a ring-buffered structured event log
+  (allocations, prefetch issue/fill/hit, priority bumps/agings, demand
+  misses, invariant sweeps) with category filters and JSONL output.
+- :mod:`repro.obs.report` — renders one run's metrics payload, or a
+  whole campaign directory, into a self-contained markdown or HTML
+  report reproducing the paper's figure shapes.
+
+:class:`Observability` bundles a registry and an optional trace for one
+:class:`~repro.sim.simulator.Simulator`; :func:`build_observability` and
+:func:`wire_simulator` are the only integration points the simulator
+needs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import (
+    MISS_LATENCY_BOUNDS,
+    NULL_REGISTRY,
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+)
+from repro.obs.tracing import CATEGORIES, EventTrace, parse_categories, read_jsonl
+
+__all__ = [
+    "CATEGORIES",
+    "CounterMetric",
+    "EventTrace",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "Observability",
+    "build_observability",
+    "parse_categories",
+    "read_jsonl",
+    "wire_simulator",
+]
+
+
+class Observability:
+    """The metrics registry and event trace attached to one simulator.
+
+    A default-constructed context is fully off: the registry is the
+    shared :data:`~repro.obs.metrics.NULL_REGISTRY` and the trace is
+    ``None``, so holding one costs nothing.
+    """
+
+    __slots__ = ("metrics", "trace", "sample_interval")
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry = NULL_REGISTRY,
+        trace: Optional[EventTrace] = None,
+        sample_interval: Optional[int] = None,
+    ) -> None:
+        self.metrics = metrics
+        self.trace = trace
+        self.sample_interval = sample_interval
+
+    @property
+    def metrics_enabled(self) -> bool:
+        """True when periodic sampling should run."""
+        return self.metrics.enabled and self.sample_interval is not None
+
+    @property
+    def active(self) -> bool:
+        """True when any observation (metrics or tracing) is on."""
+        return self.metrics.enabled or self.trace is not None
+
+    def bind_run(self, state: Any) -> None:
+        """(Re-)register the run-scoped core-progress probes.
+
+        ``state`` is the core's ``_RunState``; its fields are synced at
+        every ``advance`` boundary, which is exactly when sampling
+        happens.  Re-binding on every run (including snapshot resumes)
+        simply replaces the probes.
+        """
+        if not self.metrics_enabled:
+            return
+        metrics = self.metrics
+        for name, read in state.observable_state().items():
+            metrics.probe("core", name, read)
+
+    # -- pickling ------------------------------------------------------
+    # Rides simulator snapshots as a disabled context (see the metrics
+    # and tracing modules for the rationale).
+
+    def __getstate__(self):
+        return {}
+
+    def __setstate__(self, state):
+        self.metrics = NULL_REGISTRY
+        self.trace = None
+        self.sample_interval = None
+
+    def __repr__(self) -> str:
+        return (
+            f"Observability(metrics={self.metrics!r}, trace={self.trace!r}, "
+            f"interval={self.sample_interval})"
+        )
+
+
+def build_observability(
+    config: Any, trace: Optional[EventTrace] = None
+) -> Observability:
+    """Build the context ``config`` (a ``SimConfig``) asks for.
+
+    Metrics sampling turns on when ``config.metrics_interval`` is set;
+    ``trace`` attaches event tracing independently of metrics.
+    """
+    interval = getattr(config, "metrics_interval", None)
+    if interval is None and trace is None:
+        return Observability()
+    registry = MetricsRegistry() if interval is not None else NULL_REGISTRY
+    return Observability(registry, trace, interval)
+
+
+def wire_simulator(obs: Observability, simulator: Any) -> None:
+    """Attach ``obs`` to a simulator's components.
+
+    Hands the event trace to the hierarchy and prefetch controller (they
+    emit through it), creates the one push-style instrument (the demand
+    miss-latency histogram), and registers pull probes over every
+    counter the components already keep: core, L1/L2 caches, both buses,
+    both MSHR files, the TLB, the controller, the predictor, the
+    scheduler, and each individual stream buffer.
+    """
+    if not obs.active:
+        return
+    hierarchy = simulator.hierarchy
+    controller = simulator.controller
+    if obs.trace is not None:
+        hierarchy.obs_trace = obs.trace
+        if controller is not None:
+            controller.obs_trace = obs.trace
+    if not obs.metrics.enabled:
+        return
+    metrics = obs.metrics
+    hierarchy.obs_latency_hist = metrics.histogram(
+        "hierarchy", "miss_latency", MISS_LATENCY_BOUNDS
+    )
+    _wire_hierarchy(metrics, hierarchy)
+    if controller is not None:
+        _wire_prefetcher(metrics, controller)
+
+
+def _probe_attrs(
+    metrics: MetricsRegistry, component: str, obj: Any, names
+) -> None:
+    """Register one attribute-reading probe per counter in ``names``."""
+    for name in names:
+        if hasattr(obj, name):
+            metrics.probe(
+                component, name, lambda o=obj, n=name: float(getattr(o, n))
+            )
+
+
+def _wire_hierarchy(metrics: MetricsRegistry, hierarchy: Any) -> None:
+    """Probes over the memory hierarchy's existing statistics."""
+    _probe_attrs(
+        metrics, "hierarchy", hierarchy,
+        (
+            "demand_accesses", "demand_misses", "sb_hits", "sb_pending_hits",
+            "prefetches_issued", "prefetches_redundant",
+            "demand_l2_fetches", "demand_mem_fetches",
+        ),
+    )
+    _probe_attrs(metrics, "l1", hierarchy.l1, ("accesses", "hits", "misses"))
+    _probe_attrs(metrics, "l2", hierarchy.l2, ("accesses", "hits", "misses"))
+    for name, bus in (
+        ("bus_l1_l2", hierarchy.l1_l2_bus),
+        ("bus_l2_mem", hierarchy.l2_mem_bus),
+    ):
+        _probe_attrs(metrics, name, bus, ("busy_cycles", "transactions"))
+    for name, mshr in (
+        ("mshr_l1", hierarchy.l1_mshr),
+        ("mshr_l2", hierarchy.l2_mshr),
+    ):
+        _probe_attrs(
+            metrics, name, mshr,
+            ("allocations", "releases", "merges", "full_stalls"),
+        )
+        metrics.probe(name, "occupancy", lambda m=mshr: float(len(m)))
+    _probe_attrs(metrics, "tlb", hierarchy.tlb, ("hits", "misses"))
+
+
+def _wire_prefetcher(metrics: MetricsRegistry, controller: Any) -> None:
+    """Probes over the prefetch controller, predictor, scheduler, and
+    each stream buffer (when the architecture has them)."""
+    _probe_attrs(
+        metrics, "prefetcher", controller,
+        (
+            "prefetches_issued", "prefetches_used", "prefetches_discarded",
+            "predictions_made", "duplicate_predictions", "allocations",
+            "allocations_denied", "predicted_overtaken",
+        ),
+    )
+    if hasattr(controller, "accuracy"):
+        metrics.probe(
+            "prefetcher", "accuracy", lambda c=controller: float(c.accuracy)
+        )
+    predictor = getattr(controller, "predictor", None)
+    if predictor is not None:
+        _probe_attrs(
+            metrics, "predictor", predictor, ("trains", "correct_trains")
+        )
+        if hasattr(predictor, "accuracy"):
+            metrics.probe(
+                "predictor", "accuracy", lambda p=predictor: float(p.accuracy)
+            )
+    scheduler = getattr(controller, "scheduler", None)
+    if scheduler is not None:
+        _probe_attrs(
+            metrics, "scheduler", scheduler,
+            ("prediction_grants", "prefetch_grants"),
+        )
+    for buffer in getattr(controller, "buffers", ()):
+        component = f"sb{buffer.index}"
+        metrics.probe(
+            component, "priority", lambda b=buffer: float(int(b.priority))
+        )
+        _probe_attrs(
+            metrics, component, buffer, ("hits", "allocations")
+        )
+        metrics.probe(
+            component, "occupied_entries",
+            lambda b=buffer: float(b.occupied_entries),
+        )
+
+
+def metrics_payload(
+    simulator: Any, result: Any, meta: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Assemble the JSON-able artifact ``repro-sim run --metrics`` writes.
+
+    Bundles run metadata, the aggregate :class:`SimulationResult`, and
+    the registry's time series into one self-describing document that
+    :mod:`repro.obs.report` (and ``repro-sim report``) consumes.
+    """
+    import dataclasses
+
+    payload: Dict[str, Any] = {
+        "format": "repro-obs-metrics-v1",
+        "interval": simulator.obs.sample_interval,
+        "meta": dict(meta or {}),
+        "result": dataclasses.asdict(result),
+    }
+    payload.update(simulator.obs.metrics.to_payload())
+    return payload

@@ -1,0 +1,345 @@
+"""Typed metrics registry with near-zero cost when disabled.
+
+Three instrument types cover everything the reports need:
+
+- :class:`CounterMetric` — a monotonically increasing event count;
+- :class:`GaugeMetric` — a point-in-time value (occupancy, priority);
+- :class:`HistogramMetric` — a distribution over fixed bucket bounds
+  (miss latency).
+
+Components may *push* into instruments they create through
+:meth:`MetricsRegistry.counter` / :meth:`~MetricsRegistry.gauge` /
+:meth:`~MetricsRegistry.histogram`, but most of the simulator is wired
+the cheaper way: :meth:`MetricsRegistry.probe` registers a zero-argument
+callable that reads a counter the component *already maintains* (for
+example ``MemoryHierarchy.demand_misses``), and
+:meth:`MetricsRegistry.sample` reads every instrument and probe into a
+time series at fixed cycle boundaries.  The hot paths therefore carry no
+instrumentation at all — sampling is a pure read between core
+``advance`` calls, which is also why results are bit-identical with
+metrics on or off.
+
+**Disabled sink.**  A registry constructed with ``enabled=False`` (the
+module-level :data:`NULL_REGISTRY`) hands out shared no-op instrument
+singletons, ignores probe registrations, and makes ``sample`` a no-op.
+No dict entries, list appends, or instrument objects are allocated on
+that path, so a component can hold an instrument unconditionally and pay
+one dynamic dispatch per event when observability is off.
+
+Registries are excluded from simulation snapshots for the same reason
+:class:`~repro.perf.collector.PerfCollector` is: observation state could
+never be replayed meaningfully, and snapshot payloads must stay
+bit-identical however much (or little) observation happened around a
+run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+def metric_name(component: str, name: str) -> str:
+    """The fully qualified ``component.name`` key a metric is stored under."""
+    return f"{component}.{name}"
+
+
+class CounterMetric:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+    def read(self) -> float:
+        """The current count."""
+        return float(self.value)
+
+    def __repr__(self) -> str:
+        return f"CounterMetric({self.name}={self.value})"
+
+
+class GaugeMetric:
+    """A point-in-time value that can move in either direction."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value of the measured quantity."""
+        self.value = value
+
+    def read(self) -> float:
+        """The most recently set value."""
+        return float(self.value)
+
+    def __repr__(self) -> str:
+        return f"GaugeMetric({self.name}={self.value})"
+
+
+class HistogramMetric:
+    """A distribution over fixed, inclusive upper-bound buckets.
+
+    ``bounds`` must be strictly increasing.  An observation ``v`` lands
+    in the first bucket whose bound satisfies ``v <= bound``; values
+    above the last bound land in the implicit overflow bucket.  The
+    bucket layout is fixed at construction so two histograms with the
+    same bounds are directly comparable.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "overflow", "total", "sum")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        if not bounds:
+            raise ValueError(f"histogram {name!r}: bounds must be non-empty")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram {name!r}: bounds must be strictly increasing, "
+                f"got {tuple(bounds)}"
+            )
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.counts = [0] * len(self.bounds)
+        self.overflow = 0
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation into its bucket."""
+        self.total += 1
+        self.sum += value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.overflow += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        if self.total == 0:
+            return 0.0
+        return self.sum / self.total
+
+    def reset(self) -> None:
+        """Zero every bucket.
+
+        The warm-up boundary calls this so the histogram shadows the
+        component statistics it sits next to.
+        """
+        self.counts = [0] * len(self.bounds)
+        self.overflow = 0
+        self.total = 0
+        self.sum = 0.0
+
+    def read(self) -> float:
+        """Total observation count (the scalar a time series samples)."""
+        return float(self.total)
+
+    def buckets(self) -> Dict[str, int]:
+        """Bucket label -> count, including the overflow bucket."""
+        out = {
+            f"le_{bound:g}": count
+            for bound, count in zip(self.bounds, self.counts)
+        }
+        out["overflow"] = self.overflow
+        return out
+
+    def __repr__(self) -> str:
+        return f"HistogramMetric({self.name}: n={self.total})"
+
+
+class _NullCounter(CounterMetric):
+    """Shared do-nothing counter handed out by a disabled registry."""
+
+    def increment(self, amount: int = 1) -> None:
+        """Discard the event without touching any state."""
+
+
+class _NullGauge(GaugeMetric):
+    """Shared do-nothing gauge handed out by a disabled registry."""
+
+    def set(self, value: float) -> None:
+        """Discard the value without touching any state."""
+
+
+class _NullHistogram(HistogramMetric):
+    """Shared do-nothing histogram handed out by a disabled registry."""
+
+    def observe(self, value: float) -> None:
+        """Discard the observation without touching any state."""
+
+
+#: The shared no-op instruments.  A disabled registry returns these very
+#: objects — holding one costs nothing and using one allocates nothing.
+NULL_COUNTER = _NullCounter("null")
+NULL_GAUGE = _NullGauge("null")
+NULL_HISTOGRAM = _NullHistogram("null", bounds=(1.0,))
+
+
+class MetricsRegistry:
+    """Instruments and probes registered by component, sampled over time.
+
+    One registry serves a whole simulator.  Metrics are namespaced as
+    ``component.name`` (``hierarchy.demand_misses``, ``sb3.priority``),
+    and :meth:`sample` appends one row — every instrument and probe
+    value at one cycle — to :attr:`samples`.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, CounterMetric] = {}
+        self._gauges: Dict[str, GaugeMetric] = {}
+        self._histograms: Dict[str, HistogramMetric] = {}
+        self._probes: Dict[str, Callable[[], float]] = {}
+        #: One dict per sampling boundary: ``{"cycle": int, "values": {...}}``.
+        self.samples: List[Dict[str, Any]] = []
+
+    # -- registration --------------------------------------------------
+
+    def counter(self, component: str, name: str) -> CounterMetric:
+        """Create (or fetch) the counter ``component.name``."""
+        if not self.enabled:
+            return NULL_COUNTER
+        key = metric_name(component, name)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = CounterMetric(key)
+        return instrument
+
+    def gauge(self, component: str, name: str) -> GaugeMetric:
+        """Create (or fetch) the gauge ``component.name``."""
+        if not self.enabled:
+            return NULL_GAUGE
+        key = metric_name(component, name)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = GaugeMetric(key)
+        return instrument
+
+    def histogram(
+        self, component: str, name: str, bounds: Sequence[float]
+    ) -> HistogramMetric:
+        """Create (or fetch) the histogram ``component.name``."""
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        key = metric_name(component, name)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = HistogramMetric(key, bounds)
+        return instrument
+
+    def probe(
+        self, component: str, name: str, read: Callable[[], float]
+    ) -> None:
+        """Register ``read`` to be sampled as ``component.name``.
+
+        Re-registering the same name replaces the callable, so run-scoped
+        probes (core progress, bound to one run's state) can simply be
+        re-bound at the start of each run.
+        """
+        if not self.enabled:
+            return
+        self._probes[metric_name(component, name)] = read
+
+    # -- sampling ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        """Current value of every instrument and probe, one flat dict."""
+        if not self.enabled:
+            return {}
+        values: Dict[str, float] = {}
+        for key, counter in self._counters.items():
+            values[key] = counter.read()
+        for key, gauge in self._gauges.items():
+            values[key] = gauge.read()
+        for key, hist in self._histograms.items():
+            values[key] = hist.read()
+        for key, read in self._probes.items():
+            values[key] = float(read())
+        return values
+
+    def sample(self, cycle: int) -> None:
+        """Append one time-series row for ``cycle``.
+
+        Re-sampling the same cycle (e.g. a final sample landing exactly
+        on a periodic boundary) is a no-op, so boundary bookkeeping in
+        callers stays simple.
+        """
+        if not self.enabled:
+            return
+        if self.samples and self.samples[-1]["cycle"] == cycle:
+            return
+        self.samples.append({"cycle": cycle, "values": self.snapshot()})
+
+    def sample_cycles(self) -> List[int]:
+        """The cycles at which samples were taken, in order."""
+        return [row["cycle"] for row in self.samples]
+
+    def series(self, key: str) -> List[Tuple[int, float]]:
+        """The ``(cycle, value)`` time series of one metric."""
+        return [
+            (row["cycle"], row["values"][key])
+            for row in self.samples
+            if key in row["values"]
+        ]
+
+    # -- persistence ---------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """A JSON-able dump: final values, histograms, and the series."""
+        return {
+            "final": self.snapshot(),
+            "histograms": {
+                key: {
+                    "bounds": list(hist.bounds),
+                    "buckets": hist.buckets(),
+                    "total": hist.total,
+                    "mean": hist.mean,
+                }
+                for key, hist in self._histograms.items()
+            },
+            "samples": [dict(row) for row in self.samples],
+        }
+
+    # -- pickling ------------------------------------------------------
+    # Snapshots capture the simulator object graph; probes close over
+    # live component state and must not (and could not meaningfully) be
+    # replayed, so a registry always pickles as a fresh disabled one —
+    # exactly the PerfCollector contract.
+
+    def __getstate__(self):
+        return {"enabled": False}
+
+    def __setstate__(self, state):
+        self.__init__(enabled=False)
+
+    def __repr__(self) -> str:
+        if not self.enabled:
+            return "MetricsRegistry(disabled)"
+        return (
+            f"MetricsRegistry({len(self._counters)} counters, "
+            f"{len(self._gauges)} gauges, {len(self._histograms)} "
+            f"histograms, {len(self._probes)} probes, "
+            f"{len(self.samples)} samples)"
+        )
+
+
+#: The process-wide disabled registry: every instrument request returns
+#: a shared no-op singleton and sampling does nothing.
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+
+#: Miss-latency histogram bucket bounds (cycles): L1-ish, L2-ish, and
+#: memory-ish regimes of the Section 5.1 machine.
+MISS_LATENCY_BOUNDS: Tuple[float, ...] = (
+    2.0, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0,
+)

@@ -113,6 +113,12 @@ class RunSpec:
     golden_check: bool = False
 
     def fingerprint(self) -> str:
+        """Stable identity of this spec's *inputs*, for resume matching.
+
+        A checkpointed outcome is only reused when both the ``run_id``
+        and this fingerprint match, so editing a spec invalidates its
+        old results.
+        """
         parts = [
             self.config, self.trace, self.max_instructions,
             self.warmup_instructions, self.faults,
@@ -139,6 +145,7 @@ class RunOutcome:
 
     @property
     def ok(self) -> bool:
+        """True when the point completed with a result."""
         return self.status == "ok"
 
 
@@ -292,8 +299,10 @@ def _is_picklable(spec: RunSpec) -> bool:
 
 
 class CampaignRunner:
-    """Executes :class:`RunSpec` sequences with isolation, retry, and
-    checkpointing.  See the module docstring for the full behaviour."""
+    """Runs specs with isolation, retries, and checkpointing.
+
+    See the module docstring for the full behaviour.
+    """
 
     def __init__(
         self,
@@ -616,6 +625,19 @@ class CampaignRunner:
             for run_id, result in campaign.results.items()
             if result.extra.get("trace_records_skipped")
         }
+        # Per-point headline metrics, so a campaign directory is
+        # renderable by 'repro-sim report --campaign' without re-loading
+        # every checkpointed result.
+        metrics = {
+            run_id: {
+                "ipc": result.ipc,
+                "cycles": result.cycles,
+                "instructions": result.instructions,
+                "l1_miss_rate": result.l1_miss_rate,
+                "prefetch_accuracy": result.prefetch_accuracy,
+            }
+            for run_id, result in campaign.results.items()
+        }
         return store.write_manifest(
             status=status,
             total=total,
@@ -634,5 +656,6 @@ class CampaignRunner:
                     "total": sum(skipped_by_run.values()),
                     "by_run": skipped_by_run,
                 },
+                "metrics": metrics,
             },
         )

@@ -18,10 +18,16 @@ cycle boundaries without touching the core's hot loop:
   cycles (``cheap``);
 - **snapshotting** (``snapshot_every``): a resumable
   :class:`~repro.integrity.snapshot.SimSnapshot` is handed to
-  ``snapshot_sink`` at fixed cycle boundaries.
+  ``snapshot_sink`` at fixed cycle boundaries;
+- **metrics sampling** (``config.metrics_interval``): the
+  :mod:`repro.obs` registry reads every probe into a time series at
+  fixed cycle boundaries.
 
-With both off the run is a single uninterrupted call into the core —
-the fast path is unchanged.
+With all off the run is a single uninterrupted call into the core —
+the fast path is unchanged.  Because sampling happens at driver stop
+boundaries (which clamp, never alter, the event-driven horizon),
+samples land on the same cycles in event-driven and cycle-stepped
+modes, and results stay bit-identical with observation on or off.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ from repro.cpu.core import OutOfOrderCore, _RunState
 from repro.errors import ReproError, SimulationError
 from repro.integrity.invariants import build_checker
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.obs import EventTrace, build_observability, wire_simulator
 from repro.perf.collector import PerfCollector
 from repro.sim.results import SimulationResult
 from repro.streambuf.controller import build_prefetcher
@@ -40,9 +47,16 @@ from repro.trace.record import TraceRecord
 
 
 class Simulator:
-    """One fully wired machine: reusable across runs of the same config."""
+    """One fully wired machine: reusable across runs of the same config.
 
-    def __init__(self, config: SimConfig) -> None:
+    ``event_trace`` optionally attaches a :class:`repro.obs.EventTrace`
+    that components emit structured events into; metrics sampling is
+    controlled by ``config.metrics_interval``.  Both default off.
+    """
+
+    def __init__(
+        self, config: SimConfig, event_trace: Optional[EventTrace] = None
+    ) -> None:
         self.config = config
         self.hierarchy = MemoryHierarchy(config)
         # A StreamBufferController for the stream-buffer kinds, or a
@@ -64,6 +78,11 @@ class Simulator:
         # however long) a run was measured.
         self.perf = PerfCollector()
         self.core.perf = self.perf
+        # Metrics + event tracing (repro.obs).  Like the perf collector,
+        # the context pickles disabled so observation never leaks into
+        # snapshot payloads.
+        self.obs = build_observability(config, event_trace)
+        wire_simulator(self.obs, self)
 
     def run(
         self,
@@ -123,6 +142,13 @@ class Simulator:
             raise SimulationError(
                 f"snapshot_every must be positive, got {snapshot_every}"
             )
+        obs = self.obs
+        metrics_stride = (
+            obs.sample_interval if obs.metrics_enabled else None
+        )
+        if metrics_stride is not None:
+            obs.bind_run(state)
+            obs.metrics.sample(state.cycle)
 
         try:
             with self.perf.time("simulate"):
@@ -135,6 +161,7 @@ class Simulator:
                     snapshot_every,
                     snapshot_sink,
                     label,
+                    metrics_stride,
                 )
         except ReproError:
             # Already classified (e.g. a TraceFormatError surfacing from a
@@ -146,6 +173,10 @@ class Simulator:
                 f"simulation {label!r} crashed: "
                 f"{type(error).__name__}: {error}"
             ) from error
+        if metrics_stride is not None:
+            # Final row: sample() dedups if the run ended exactly on a
+            # periodic boundary already sampled inside the loop.
+            obs.metrics.sample(state.cycle)
         stats = self.core.finish_run(state)
         self.perf.add("sim.cycles", stats.cycles)
         self.perf.add("sim.instructions", stats.retired)
@@ -195,12 +226,24 @@ class Simulator:
         snapshot_every: Optional[int],
         snapshot_sink: Optional[Callable],
         label: str,
+        metrics_stride: Optional[int] = None,
     ) -> None:
         """The chunked driver body, split out so :meth:`_drive` can time it."""
-        if check_stride is None and snapshot_every is None:
+        if (
+            check_stride is None
+            and snapshot_every is None
+            and metrics_stride is None
+        ):
             # Fast path: one uninterrupted call into the core.
             self.core.advance(source, state, on_warmup_end=on_warmup_end)
         else:
+            obs = self.obs
+            trace = obs.trace
+            emit_integrity = (
+                trace is not None
+                and checker is not None
+                and trace.wants("integrity")
+            )
             while True:
                 stops = []
                 if check_stride is not None:
@@ -211,6 +254,10 @@ class Simulator:
                     stops.append(
                         (state.cycle // snapshot_every + 1) * snapshot_every
                     )
+                if metrics_stride is not None:
+                    stops.append(
+                        (state.cycle // metrics_stride + 1) * metrics_stride
+                    )
                 finished = self.core.advance(
                     source,
                     state,
@@ -219,6 +266,16 @@ class Simulator:
                 )
                 if checker is not None:
                     checker.on_cycle(state.cycle)
+                    if emit_integrity:
+                        trace.emit(
+                            state.cycle, "integrity", "sweep",
+                            checks_run=checker.checks_run,
+                        )
+                if (
+                    metrics_stride is not None
+                    and state.cycle % metrics_stride == 0
+                ):
+                    obs.metrics.sample(state.cycle)
                 if finished:
                     break
                 if (
@@ -239,9 +296,15 @@ def simulate(
     label: str = "run",
     snapshot_every: Optional[int] = None,
     snapshot_sink: Optional[Callable] = None,
+    event_trace: Optional[EventTrace] = None,
 ) -> SimulationResult:
-    """Build a fresh machine for ``config`` and run ``trace`` through it."""
-    return Simulator(config).run(
+    """Build a fresh machine for ``config`` and run ``trace`` through it.
+
+    ``event_trace`` attaches structured event tracing (see
+    :mod:`repro.obs.tracing`); metrics sampling follows
+    ``config.metrics_interval``.
+    """
+    return Simulator(config, event_trace=event_trace).run(
         trace,
         max_instructions=max_instructions,
         warmup_instructions=warmup_instructions,

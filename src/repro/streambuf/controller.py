@@ -84,6 +84,9 @@ class StreamBufferController(PrefetcherPort):
         self._predict_skip = False
         self._prefetch_skip = False
         self._next_refresh = _NEVER
+        #: Optional :class:`repro.obs.EventTrace`; when set, allocation,
+        #: prefetch-lifecycle, and priority events are emitted through it.
+        self.obs_trace = None
         # Statistics.
         self.prefetches_issued = 0
         self.prefetches_used = 0
@@ -138,6 +141,18 @@ class StreamBufferController(PrefetcherPort):
             buffer.note_hit(cycle, self.config.priority_hit_bonus)
             self.prefetches_used += 1
             self._predict_skip = False  # a freed entry can take a prediction
+            trace = self.obs_trace
+            if trace is not None:
+                if trace.wants("prefetch"):
+                    trace.emit(
+                        cycle, "prefetch", "hit",
+                        buffer=buffer.index, block=block_addr,
+                    )
+                if trace.wants("priority"):
+                    trace.emit(
+                        cycle, "priority", "bump",
+                        buffer=buffer.index, priority=int(buffer.priority),
+                    )
             return ready
         return None
 
@@ -161,6 +176,12 @@ class StreamBufferController(PrefetcherPort):
             self._misses_since_aging = 0
             for buffer in self.buffers:
                 buffer.priority.decrement(self.config.priority_age_amount)
+            trace = self.obs_trace
+            if trace is not None and trace.wants("priority"):
+                trace.emit(
+                    cycle, "priority", "age",
+                    amount=self.config.priority_age_amount,
+                )
         self._try_allocate(pc, block, cycle)
 
     def _try_allocate(self, pc: int, block: int, cycle: int) -> None:
@@ -181,6 +202,9 @@ class StreamBufferController(PrefetcherPort):
             )
             if busy or not self.allocation_filter.admits(pc, self.predictor):
                 self.allocations_denied += 1
+                self._emit_alloc_denied(
+                    cycle, pc, "own-busy" if busy else "filter"
+                )
                 return
             victim = own
         else:
@@ -189,12 +213,26 @@ class StreamBufferController(PrefetcherPort):
             )
             if victim is None:
                 self.allocations_denied += 1
+                self._emit_alloc_denied(cycle, pc, "no-victim")
                 return
         self._discard_unused(victim)
         state = self.predictor.make_stream_state(pc, block)
         victim.allocate(state, cycle, priority=state.confidence)
         self.allocations += 1
         self._any_allocated = True
+        trace = self.obs_trace
+        if trace is not None and trace.wants("alloc"):
+            trace.emit(
+                cycle, "alloc", "allocate",
+                buffer=victim.index, pc=pc, block=block,
+                priority=int(victim.priority),
+            )
+
+    def _emit_alloc_denied(self, cycle: int, pc: int, reason: str) -> None:
+        """Trace one denied allocation request (reason: why it lost)."""
+        trace = self.obs_trace
+        if trace is not None and trace.wants("alloc"):
+            trace.emit(cycle, "alloc", "deny", pc=pc, reason=reason)
 
     def _discard_unused(self, buffer: StreamBuffer) -> None:
         """Count prefetched-but-never-used entries lost to reallocation."""
@@ -210,15 +248,21 @@ class StreamBufferController(PrefetcherPort):
         if not self._any_allocated:
             return
         if cycle >= self._next_refresh:
+            trace = self.obs_trace
+            emit_fill = trace is not None and trace.wants("prefetch")
             next_refresh = _NEVER
             for buffer in self.buffers:
                 for entry in buffer.entries:
+                    was_in_flight = entry.state == EntryState.IN_FLIGHT
                     entry.refresh(cycle)
-                    if (
-                        entry.state == EntryState.IN_FLIGHT
-                        and entry.ready_cycle < next_refresh
-                    ):
-                        next_refresh = entry.ready_cycle
+                    if entry.state == EntryState.IN_FLIGHT:
+                        if entry.ready_cycle < next_refresh:
+                            next_refresh = entry.ready_cycle
+                    elif emit_fill and was_in_flight:
+                        trace.emit(
+                            cycle, "prefetch", "fill",
+                            buffer=buffer.index, block=entry.block,
+                        )
             self._next_refresh = next_refresh
         if not self._predict_skip:
             self._predict_one(cycle)
@@ -294,12 +338,23 @@ class StreamBufferController(PrefetcherPort):
             skip_tlb = buffer.tlb_page == page
             buffer.tlb_page = page
         ready = self.hierarchy.issue_prefetch(entry.block, cycle, skip_tlb=skip_tlb)
+        trace = self.obs_trace
         if ready is None:
             # Already resident (or in flight) in the L1: drop silently.
+            if trace is not None and trace.wants("prefetch"):
+                trace.emit(
+                    cycle, "prefetch", "drop",
+                    buffer=buffer.index, block=entry.block,
+                )
             entry.clear()
             self._predict_skip = False
             return
         self.prefetches_issued += 1
+        if trace is not None and trace.wants("prefetch"):
+            trace.emit(
+                cycle, "prefetch", "issue",
+                buffer=buffer.index, block=entry.block, ready=ready,
+            )
         entry.mark_in_flight(ready)
         if ready < self._next_refresh:
             self._next_refresh = ready

@@ -20,7 +20,16 @@ Eligible = Callable[[StreamBuffer], bool]
 
 
 class Scheduler(ABC):
-    """Chooses which eligible buffer wins a shared resource this cycle."""
+    """Chooses which eligible buffer wins a shared resource this cycle.
+
+    Concrete schedulers count their successful picks in
+    ``prediction_grants`` / ``prefetch_grants`` so the observability
+    layer can report how contended each port was.
+    """
+
+    def __init__(self) -> None:
+        self.prediction_grants = 0
+        self.prefetch_grants = 0
 
     @abstractmethod
     def pick_for_prediction(
@@ -40,6 +49,7 @@ class RoundRobinScheduler(Scheduler):
     prefetching, as described in the paper."""
 
     def __init__(self) -> None:
+        super().__init__()
         self._predict_pointer = 0
         self._prefetch_pointer = 0
 
@@ -60,6 +70,7 @@ class RoundRobinScheduler(Scheduler):
         if index is None:
             return None
         self._predict_pointer = (index + 1) % len(buffers)
+        self.prediction_grants += 1
         return buffers[index]
 
     def pick_for_prefetch(
@@ -69,6 +80,7 @@ class RoundRobinScheduler(Scheduler):
         if index is None:
             return None
         self._prefetch_pointer = (index + 1) % len(buffers)
+        self.prefetch_grants += 1
         return buffers[index]
 
 
@@ -97,12 +109,18 @@ class PriorityScheduler(Scheduler):
     def pick_for_prediction(
         self, buffers: List[StreamBuffer], eligible: Eligible
     ) -> Optional[StreamBuffer]:
-        return self._pick(buffers, eligible)
+        winner = self._pick(buffers, eligible)
+        if winner is not None:
+            self.prediction_grants += 1
+        return winner
 
     def pick_for_prefetch(
         self, buffers: List[StreamBuffer], eligible: Eligible
     ) -> Optional[StreamBuffer]:
-        return self._pick(buffers, eligible)
+        winner = self._pick(buffers, eligible)
+        if winner is not None:
+            self.prefetch_grants += 1
+        return winner
 
 
 def make_scheduler(config: StreamBufferConfig) -> Scheduler:

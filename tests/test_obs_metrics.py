@@ -1,0 +1,238 @@
+"""The metrics registry: instruments, null sink, and sampling."""
+
+import pickle
+
+import pytest
+
+from repro.cli import MACHINES
+from repro.obs.metrics import (
+    MISS_LATENCY_BOUNDS,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_REGISTRY,
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+    metric_name,
+)
+from repro.sim.simulator import Simulator
+from repro.workloads import get_workload
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = CounterMetric("c")
+        counter.increment()
+        counter.increment(5)
+        assert counter.read() == 6.0
+
+    def test_gauge_holds_latest(self):
+        gauge = GaugeMetric("g")
+        gauge.set(3.5)
+        gauge.set(-1.0)
+        assert gauge.read() == -1.0
+
+    def test_metric_name(self):
+        assert metric_name("sb3", "priority") == "sb3.priority"
+
+
+class TestHistogramBoundaries:
+    def test_value_on_bound_lands_in_that_bucket(self):
+        hist = HistogramMetric("h", bounds=(10.0, 20.0))
+        hist.observe(10.0)  # inclusive upper bound
+        hist.observe(10.1)
+        hist.observe(20.0)
+        assert hist.buckets() == {"le_10": 1, "le_20": 2, "overflow": 0}
+
+    def test_above_last_bound_overflows(self):
+        hist = HistogramMetric("h", bounds=(1.0,))
+        hist.observe(1.0)
+        hist.observe(1.0001)
+        assert hist.overflow == 1
+        assert hist.total == 2
+
+    def test_mean_and_read(self):
+        hist = HistogramMetric("h", bounds=(100.0,))
+        assert hist.mean == 0.0
+        hist.observe(10.0)
+        hist.observe(20.0)
+        assert hist.mean == 15.0
+        assert hist.read() == 2.0
+
+    def test_reset_zeroes_everything(self):
+        hist = HistogramMetric("h", bounds=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(99.0)
+        hist.reset()
+        assert hist.total == 0
+        assert hist.overflow == 0
+        assert hist.buckets() == {"le_1": 0, "le_2": 0, "overflow": 0}
+
+    def test_rejects_empty_bounds(self):
+        with pytest.raises(ValueError):
+            HistogramMetric("h", bounds=())
+
+    def test_rejects_non_increasing_bounds(self):
+        with pytest.raises(ValueError):
+            HistogramMetric("h", bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            HistogramMetric("h", bounds=(2.0, 1.0))
+
+    def test_default_latency_bounds_are_increasing(self):
+        assert list(MISS_LATENCY_BOUNDS) == sorted(set(MISS_LATENCY_BOUNDS))
+
+
+class TestDisabledSink:
+    def test_disabled_registry_hands_out_shared_singletons(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("a", "x") is NULL_COUNTER
+        assert registry.gauge("a", "y") is NULL_GAUGE
+        assert registry.histogram("a", "z", (1.0,)) is NULL_HISTOGRAM
+        # Every request returns the very same object: no allocation.
+        assert registry.counter("b", "other") is NULL_COUNTER
+
+    def test_null_instruments_discard_updates(self):
+        NULL_COUNTER.increment(100)
+        NULL_GAUGE.set(42.0)
+        NULL_HISTOGRAM.observe(3.0)
+        assert NULL_COUNTER.read() == 0.0
+        assert NULL_GAUGE.read() == 0.0
+        assert NULL_HISTOGRAM.read() == 0.0
+
+    def test_disabled_registry_allocates_no_state(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("a", "x").increment()
+        registry.probe("a", "p", lambda: 1.0)
+        registry.sample(100)
+        registry.sample(200)
+        assert registry.samples == []
+        assert registry.snapshot() == {}
+        assert registry._counters == {}
+        assert registry._probes == {}
+
+    def test_null_registry_is_disabled(self):
+        assert not NULL_REGISTRY.enabled
+
+
+class TestSampling:
+    def test_sample_reads_instruments_and_probes(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c", "events")
+        registry.probe("p", "value", lambda: 7.0)
+        counter.increment(3)
+        registry.sample(100)
+        counter.increment()
+        registry.sample(200)
+        assert registry.sample_cycles() == [100, 200]
+        assert registry.series("c.events") == [(100, 3.0), (200, 4.0)]
+        assert registry.series("p.value") == [(100, 7.0), (200, 7.0)]
+
+    def test_same_cycle_sampled_once(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "n")
+        registry.sample(50)
+        registry.sample(50)
+        assert registry.sample_cycles() == [50]
+
+    def test_probe_reregistration_replaces(self):
+        registry = MetricsRegistry()
+        registry.probe("core", "retired", lambda: 1.0)
+        registry.probe("core", "retired", lambda: 2.0)
+        assert registry.snapshot() == {"core.retired": 2.0}
+
+    def test_to_payload_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "n").increment()
+        hist = registry.histogram("h", "lat", (10.0,))
+        hist.observe(5.0)
+        registry.sample(10)
+        payload = registry.to_payload()
+        assert payload["final"]["c.n"] == 1.0
+        assert payload["histograms"]["h.lat"]["buckets"] == {
+            "le_10": 1, "overflow": 0,
+        }
+        assert payload["samples"][0]["cycle"] == 10
+
+    def test_registry_pickles_disabled(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "n").increment()
+        registry.sample(1)
+        clone = pickle.loads(pickle.dumps(registry))
+        assert not clone.enabled
+        assert clone.samples == []
+
+
+def _run(config, instructions=4_000):
+    simulator = Simulator(config)
+    result = simulator.run(
+        get_workload("health", seed=1), max_instructions=instructions
+    )
+    return simulator, result
+
+
+class TestSimulatorSampling:
+    def test_samples_land_on_interval_boundaries(self):
+        config = MACHINES["psb"]().with_metrics(500)
+        simulator, result = _run(config)
+        cycles = simulator.obs.metrics.sample_cycles()
+        assert cycles[0] == 0
+        # Every sample except the last (final cycle) is on a boundary.
+        assert all(cycle % 500 == 0 for cycle in cycles[:-1])
+        assert cycles[-1] == result.cycles
+        assert cycles == sorted(cycles)
+
+    def test_event_driven_and_stepped_sample_identical_cycles(self):
+        """The acceptance property: the skip-ahead fast path must stop
+        at metric boundaries, putting samples on the same cycles as the
+        cycle-stepped loop — with identical values."""
+        base = MACHINES["psb"]().with_metrics(750)
+        fast_sim, fast = _run(base.with_event_driven(True))
+        slow_sim, slow = _run(base.with_event_driven(False))
+        assert fast.cycles == slow.cycles
+        fast_rows = fast_sim.obs.metrics.samples
+        slow_rows = slow_sim.obs.metrics.samples
+        assert [r["cycle"] for r in fast_rows] == [
+            r["cycle"] for r in slow_rows
+        ]
+        assert fast_rows == slow_rows
+
+    def test_results_bit_identical_with_metrics_on(self):
+        config = MACHINES["psb"]()
+        __, plain = _run(config)
+        __, observed = _run(config.with_metrics(250))
+        assert plain.cycles == observed.cycles
+        assert plain.ipc == observed.ipc
+        assert plain.l1_miss_rate == observed.l1_miss_rate
+        assert plain.prefetch_accuracy == observed.prefetch_accuracy
+        assert plain.extra == observed.extra
+
+    def test_disabled_config_builds_null_context(self):
+        simulator = Simulator(MACHINES["psb"]())
+        assert not simulator.obs.active
+        assert simulator.obs.metrics is NULL_REGISTRY
+        assert simulator.hierarchy.obs_trace is None
+        assert simulator.hierarchy.obs_latency_hist is None
+
+    def test_component_metrics_present(self):
+        config = MACHINES["psb"]().with_metrics(1000)
+        simulator, __ = _run(config)
+        final = simulator.obs.metrics.snapshot()
+        for key in (
+            "core.retired", "hierarchy.demand_misses", "l1.accesses",
+            "bus_l1_l2.busy_cycles", "mshr_l1.allocations", "tlb.misses",
+            "prefetcher.prefetches_issued", "predictor.accuracy",
+            "scheduler.prediction_grants", "sb0.priority", "sb7.hits",
+            "hierarchy.miss_latency",
+        ):
+            assert key in final, key
+
+    def test_latency_histogram_counts_misses(self):
+        config = MACHINES["base"]().with_metrics(1000)
+        simulator, result = _run(config)
+        hist = simulator.obs.metrics.to_payload()["histograms"][
+            "hierarchy.miss_latency"
+        ]
+        assert hist["total"] > 0
+        assert hist["mean"] > 0

@@ -35,12 +35,15 @@ TIMEOUT: Optional[float] = (
     else None
 )
 RETRIES = int(os.environ.get("REPRO_BENCH_RETRIES", 0))
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", 1))
 ISOLATION = os.environ.get(
-    "REPRO_BENCH_ISOLATION", "process" if TIMEOUT is not None else "inline"
+    "REPRO_BENCH_ISOLATION",
+    "process" if (TIMEOUT is not None or WORKERS > 1) else "inline",
 )
 
 _runner = CampaignRunner(
-    timeout=TIMEOUT, retries=RETRIES, isolation=ISOLATION, on_error="fail"
+    timeout=TIMEOUT, retries=RETRIES, isolation=ISOLATION,
+    workers=WORKERS, on_error="fail",
 )
 
 #: Pointer-intensive benchmarks (the paper's averages exclude turb3d).
@@ -65,9 +68,36 @@ def run(workload: str, label: str) -> SimulationResult:
 
 
 def run_matrix() -> Dict[Tuple[str, str], SimulationResult]:
-    """All 36 runs of the main evaluation (Figures 5-9, Table 2)."""
-    for workload in workload_names():
-        for label in CONFIG_LABELS:
+    """All 36 runs of the main evaluation (Figures 5-9, Table 2).
+
+    With ``REPRO_BENCH_WORKERS > 1`` the not-yet-cached cells run as
+    one parallel campaign instead of one ``run_one`` at a time — same
+    per-cell results (the runner's parallel schedule is result-
+    identical), filled into the same cache.
+    """
+    labelled = configs_by_label()
+    missing = [
+        (workload, label)
+        for workload in workload_names()
+        for label in CONFIG_LABELS
+        if (workload, label) not in _cache
+    ]
+    if WORKERS > 1 and len(missing) > 1:
+        specs = [
+            RunSpec(
+                run_id=f"{workload}/{label}",
+                config=labelled[label],
+                trace=WorkloadSpec(workload, seed=SEED),
+                max_instructions=MAX_INSTRUCTIONS,
+                warmup_instructions=WARMUP_INSTRUCTIONS,
+            )
+            for workload, label in missing
+        ]
+        campaign = _runner.run(specs)
+        for (workload, label), spec in zip(missing, specs):
+            _cache[(workload, label)] = campaign.results[spec.run_id]
+    else:
+        for workload, label in missing:
             run(workload, label)
     return dict(_cache)
 

@@ -67,6 +67,23 @@ python scripts/check_docs.py --run
 python scripts/check_docstrings.py
 
 echo
+echo "== parallel sweep (--workers 2) =="
+parallel_dir="$(mktemp -d)"
+python -m repro sweep health --machines base,stride,psb \
+    --instructions 2000 --warmup 500 --workers 2 --progress \
+    --campaign-dir "$parallel_dir"
+python - "$parallel_dir" <<'EOF'
+import json, os, sys
+manifest = json.load(open(os.path.join(sys.argv[1], "manifest.json")))
+assert manifest["status"] == "complete", manifest
+assert manifest["ok"] == 3, manifest
+assert manifest["failed"] == 0, manifest
+assert manifest["policy"]["workers"] == 2, manifest
+print("smoke: parallel sweep manifest checks passed")
+EOF
+rm -rf "$parallel_dir"
+
+echo
 echo "== end-to-end campaign with fault injection =="
 campaign_dir="$(mktemp -d)"
 trap 'rm -rf "$campaign_dir"' EXIT

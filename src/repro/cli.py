@@ -242,6 +242,17 @@ def _build_parser() -> argparse.ArgumentParser:
              "(omit to run without checkpointing)",
     )
     sweep.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="points to run in parallel across persistent worker "
+             "processes (default: 1, the serial schedule; requires "
+             "process isolation)",
+    )
+    sweep.add_argument(
+        "--progress", action="store_true",
+        help="print a progress line to stderr after every point "
+             "(done/failed/in-flight tallies and an ETA)",
+    )
+    sweep.add_argument(
         "--timeout", type=float, default=None,
         help="wall-clock seconds per attempt (default: unlimited)",
     )
@@ -694,14 +705,23 @@ def _command_sweep(args: argparse.Namespace) -> int:
         )
         for name in machines
     ]
+    progress = None
+    if args.progress:
+        from repro.obs import CampaignProgress
+
+        progress = CampaignProgress(
+            emit=lambda line: print(line, file=sys.stderr)
+        )
     runner = CampaignRunner(
         args.campaign_dir,
+        workers=args.workers,
         timeout=args.timeout,
         retries=args.retries,
         on_error=args.on_error,
         isolation="inline" if args.no_isolate else "process",
         resume=args.resume,
         snapshot_every=args.snapshot_every,
+        progress=progress,
     )
     campaign = runner.run(specs)
 

@@ -36,10 +36,12 @@ from repro.obs.metrics import (
     HistogramMetric,
     MetricsRegistry,
 )
+from repro.obs.progress import CampaignProgress
 from repro.obs.tracing import CATEGORIES, EventTrace, parse_categories, read_jsonl
 
 __all__ = [
     "CATEGORIES",
+    "CampaignProgress",
     "CounterMetric",
     "EventTrace",
     "GaugeMetric",

@@ -1,0 +1,147 @@
+"""Campaign-level progress: points done/in-flight/failed, and an ETA.
+
+A long sweep is opaque from the outside — especially a parallel one,
+where points complete out of order and a silent hour can mean either
+"working hard" or "wedged".  :class:`CampaignProgress` is the campaign
+runner's window out: the runner calls its four hooks (``begin``,
+``point_started``, ``point_finished``, ``finish``) and the tracker
+keeps the running tallies, per-point elapsed times, and a wall-clock
+ETA estimate.
+
+The tracker is deliberately passive and dependency-free: it never
+touches the scheduler, and rendering is delegated to an ``emit``
+callable (the CLI passes a stderr printer; library users can pass
+``None`` and poll :meth:`snapshot` instead).  Any object exposing the
+same four hooks can stand in for it — the runner duck-types the
+protocol rather than importing this module.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Set
+
+__all__ = ["CampaignProgress"]
+
+
+class CampaignProgress:
+    """Tracks and (optionally) narrates one campaign's progress.
+
+    ``emit`` is called with one formatted line after every terminal
+    point and once at campaign end; ``clock`` is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        emit: Optional[Callable[[str], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._emit = emit
+        self._clock = clock
+        self.total = 0
+        self.workers = 1
+        self.done = 0
+        self.failed = 0
+        self.resumed = 0
+        self.in_flight: Set[str] = set()
+        #: ``run_id`` -> elapsed seconds of every finished point.
+        self.elapsed: Dict[str, float] = {}
+        self._executed_times: List[float] = []
+        self._started_at = clock()
+
+    # -- runner hooks --------------------------------------------------
+
+    def begin(self, total: int, workers: int = 1) -> None:
+        """A campaign of ``total`` points starts on ``workers`` workers."""
+        self.total = total
+        self.workers = max(1, workers)
+        self.done = self.failed = self.resumed = 0
+        self.in_flight = set()
+        self.elapsed = {}
+        self._executed_times = []
+        self._started_at = self._clock()
+
+    def point_started(self, run_id: str) -> None:
+        """``run_id``'s first attempt was dispatched to a worker."""
+        self.in_flight.add(run_id)
+
+    def point_finished(self, outcome: Any) -> None:
+        """``outcome`` (a :class:`~repro.runner.RunOutcome`) is terminal."""
+        self.in_flight.discard(outcome.run_id)
+        self.done += 1
+        self.elapsed[outcome.run_id] = outcome.elapsed_seconds
+        if not outcome.ok:
+            self.failed += 1
+        if outcome.resumed:
+            self.resumed += 1
+        else:
+            self._executed_times.append(outcome.elapsed_seconds)
+        if self._emit is not None:
+            self._emit(self.line(outcome))
+
+    def finish(self, status: str = "complete") -> None:
+        """The campaign ended with ``status``."""
+        if self._emit is not None:
+            wall = self._clock() - self._started_at
+            self._emit(
+                f"campaign {status}: {self.done - self.failed} ok, "
+                f"{self.failed} failed, {self.resumed} resumed from "
+                f"checkpoint in {wall:.1f}s"
+            )
+
+    # -- derived views -------------------------------------------------
+
+    @property
+    def remaining(self) -> int:
+        """Points not yet terminal (in flight or not started)."""
+        return max(0, self.total - self.done)
+
+    def eta_seconds(self) -> Optional[float]:
+        """Rough wall-clock estimate for the remaining points.
+
+        Average executed per-point time, scaled by remaining work spread
+        across the workers.  None until one point has actually executed
+        (resumed points are free and excluded from the average).
+        """
+        if not self._executed_times or not self.remaining:
+            return None
+        average = sum(self._executed_times) / len(self._executed_times)
+        return average * self.remaining / self.workers
+
+    def line(self, outcome: Optional[Any] = None) -> str:
+        """One human-readable progress line, optionally for ``outcome``."""
+        parts = [f"[{self.done}/{self.total}]"]
+        if outcome is not None:
+            status = "ok" if outcome.ok else f"FAILED ({outcome.error_kind})"
+            if outcome.resumed:
+                status += " (resumed)"
+            parts.append(
+                f"{outcome.run_id}: {status} in "
+                f"{outcome.elapsed_seconds:.1f}s |"
+            )
+        parts.append(
+            f"{self.failed} failed, {len(self.in_flight)} in flight"
+        )
+        eta = self.eta_seconds()
+        if eta is not None:
+            parts.append(f"| eta ~{eta:.0f}s")
+        return " ".join(parts)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The current tallies as one JSON-able dict."""
+        return {
+            "total": self.total,
+            "done": self.done,
+            "failed": self.failed,
+            "resumed": self.resumed,
+            "in_flight": sorted(self.in_flight),
+            "remaining": self.remaining,
+            "eta_seconds": self.eta_seconds(),
+            "elapsed": dict(self.elapsed),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CampaignProgress(done={self.done}/{self.total}, "
+            f"failed={self.failed}, in_flight={len(self.in_flight)})"
+        )

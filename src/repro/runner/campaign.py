@@ -4,25 +4,46 @@ A *campaign* is an ordered list of :class:`RunSpec` points (one
 simulation each).  The :class:`CampaignRunner` executes them with the
 failure-handling machinery that a long unattended sweep needs:
 
-- **Process isolation** — each attempt runs in a fresh single-worker
-  ``concurrent.futures.ProcessPoolExecutor``, so a crashed or wedged
-  simulation cannot take down the campaign, and a timed-out worker can
-  simply be killed.
+- **Process isolation** — each attempt runs in a persistent
+  single-process *worker slot* (a long-lived
+  ``concurrent.futures.ProcessPoolExecutor(max_workers=1)``), so a
+  crashed or wedged simulation cannot take down the campaign, and a
+  timed-out worker can be killed without disturbing its siblings.
+- **Parallel execution** — ``workers=N`` keeps up to N points in flight
+  at once across N slots, completing them out of order.  ``workers=1``
+  runs the exact serial schedule (bit-identical results, checkpoint,
+  and manifest to previous releases); ``workers=N`` produces the same
+  per-point results and an equivalent checkpoint/manifest, differing
+  only in completion order (the in-memory campaign and the manifest are
+  re-ordered back to spec order before being returned/written).
 - **Timeouts** — a wall-clock budget per attempt
-  (:class:`~repro.errors.RunTimeoutError` when exceeded).
+  (:class:`~repro.errors.RunTimeoutError` when exceeded).  Under
+  parallel execution the budget is tracked as a *deadline* per in-flight
+  attempt — the scheduler never blocks in ``future.result(timeout=...)``
+  — and an expired attempt's worker is killed in a targeted way.
 - **Bounded retry with exponential backoff** — only errors whose class
   is marked ``retryable`` in the taxonomy are retried; a
   :class:`~repro.errors.ConfigError` or
   :class:`~repro.errors.TraceFormatError` is determinate and fails the
-  point immediately.
+  point immediately.  Under parallel execution a backoff never blocks
+  the pool: the retry is *rescheduled* with an eligibility deadline and
+  other points run in the meantime.
 - **Checkpointing** — every terminal outcome is appended to
   ``checkpoint.jsonl`` in the campaign directory; ``resume=True`` skips
   points already recorded there (matching both ``run_id`` and spec
   fingerprint) and reloads their results, so an interrupted campaign
-  finishes with results identical to an uninterrupted one.
+  finishes with results identical to an uninterrupted one.  Parallel
+  campaigns append in completion order; resume is keyed by ``run_id``,
+  so out-of-order checkpoints replay exactly the same way.
 - **Degradation policy** — ``on_error="skip"`` records the failure and
   moves on (the unattended default); ``on_error="fail"`` re-raises after
-  recording (fail-fast, the legacy in-process sweep behaviour).
+  recording (fail-fast, the legacy in-process sweep behaviour).  A
+  parallel fail-fast kills the outstanding workers, drains the
+  scheduler, and writes the failed manifest before re-raising.
+- **Progress** — an optional tracker (duck-typed against
+  :class:`repro.obs.progress.CampaignProgress`) receives
+  ``begin``/``point_started``/``point_finished``/``finish`` hooks, for
+  points done/in-flight/failed tallies, per-point elapsed, and an ETA.
 
 Because specs cross a process boundary, a spec's trace is *declarative*:
 a :class:`WorkloadSpec` (regenerate from the registry), a
@@ -34,11 +55,14 @@ for that point.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures import wait as futures_wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import (
@@ -50,6 +74,7 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Tuple,
     Union,
 )
 
@@ -160,22 +185,49 @@ class CampaignResult:
     manifest: Optional[Dict[str, Any]] = None
 
 
+def _cacheable(trace: TraceSource, max_instructions: Optional[int]) -> bool:
+    """True when the point's trace can come from the compiled cache.
+
+    The cache is keyed ``(name, seed, count)``, so it only applies to
+    unscaled workload specs with a bounded run length.
+    """
+    return (
+        isinstance(trace, WorkloadSpec)
+        and trace.scale == 1.0
+        and max_instructions is not None
+        and max_instructions > 0
+    )
+
+
 def _resolve_trace(
     trace: TraceSource,
     faults: Optional[FaultSpec],
     attempt: int,
     errors: Optional[List] = None,
     on_corrupt_state: Optional[Callable[[str], None]] = None,
+    max_instructions: Optional[int] = None,
 ) -> Iterable[TraceRecord]:
     # Imported lazily: this module must stay importable from
     # repro.sim.sweep without creating an import cycle through
     # repro.sim/__init__ or repro.workloads.
     if isinstance(trace, WorkloadSpec):
-        from repro.workloads import get_workload
+        if _cacheable(trace, max_instructions):
+            # The core consumes at most ``max_instructions`` records, so
+            # the cached prefix is exactly the generator's output as far
+            # as the run can see — results are bit-identical, the load
+            # is an mmap instead of a generator re-run, and a parallel
+            # campaign's pre-warmed entry is shared by every worker.
+            from repro.workloads.cache import cached_workload_trace
 
-        records: Iterable[TraceRecord] = get_workload(
-            trace.name, seed=trace.seed, scale=trace.scale
-        )
+            records: Iterable[TraceRecord] = cached_workload_trace(
+                trace.name, seed=trace.seed, instructions=max_instructions
+            )
+        else:
+            from repro.workloads import get_workload
+
+            records = get_workload(
+                trace.name, seed=trace.seed, scale=trace.scale
+            )
     elif isinstance(trace, TraceFileSpec):
         from repro.trace.io import load_trace
 
@@ -230,6 +282,7 @@ def execute_spec(
         attempt,
         errors=trace_errors,
         on_corrupt_state=on_corrupt_state,
+        max_instructions=spec.max_instructions,
     )
 
     snapshot_sink = None
@@ -281,7 +334,9 @@ def _golden_validate(spec: RunSpec, result: SimulationResult) -> None:
             "(a warm-up reset discards events the golden model counts)",
             field="RunSpec.golden_check",
         )
-    reference = _resolve_trace(spec.trace, None, 0)
+    reference = _resolve_trace(
+        spec.trace, None, 0, max_instructions=spec.max_instructions
+    )
     golden = run_golden(
         spec.config, reference, max_instructions=spec.max_instructions
     )
@@ -308,6 +363,7 @@ class CampaignRunner:
         self,
         campaign_dir: Optional[str] = None,
         *,
+        workers: int = 1,
         timeout: Optional[float] = None,
         retries: int = 0,
         backoff_base: float = 0.5,
@@ -318,7 +374,13 @@ class CampaignRunner:
         snapshot_every: Optional[int] = None,
         sleep: Callable[[float], None] = time.sleep,
         on_outcome: Optional[Callable[[RunOutcome], None]] = None,
+        progress: Optional[Any] = None,
     ) -> None:
+        if workers < 1:
+            raise ConfigError(
+                f"CampaignRunner.workers: must be >= 1, got {workers}",
+                field="CampaignRunner.workers",
+            )
         if on_error not in ("skip", "fail"):
             raise ConfigError(
                 f"CampaignRunner.on_error: expected 'skip' or 'fail', "
@@ -347,6 +409,12 @@ class CampaignRunner:
                 "(an inline hang cannot be interrupted)",
                 field="CampaignRunner.timeout",
             )
+        if workers > 1 and isolation != "process":
+            raise ConfigError(
+                "CampaignRunner.workers: parallel execution requires "
+                "process isolation (inline points share the driver)",
+                field="CampaignRunner.workers",
+            )
         if resume and campaign_dir is None:
             raise ConfigError(
                 "CampaignRunner.resume: requires a campaign_dir to "
@@ -366,6 +434,7 @@ class CampaignRunner:
             )
         self.campaign_dir = campaign_dir
         self.snapshot_every = snapshot_every
+        self.workers = workers
         self.timeout = timeout
         self.retries = retries
         self.backoff_base = backoff_base
@@ -375,6 +444,7 @@ class CampaignRunner:
         self.resume = resume
         self._sleep = sleep
         self._on_outcome = on_outcome
+        self._progress = progress
 
     # -- single-attempt execution -------------------------------------
 
@@ -440,8 +510,7 @@ class CampaignRunner:
             attempts = attempt + 1
             try:
                 result = self._attempt(spec, attempt, snapshot_path)
-                if snapshot_path is not None and os.path.exists(snapshot_path):
-                    os.remove(snapshot_path)  # run finished; seed not needed
+                self._discard_snapshot(snapshot_path)
                 return RunOutcome(
                     run_id=spec.run_id,
                     status="ok",
@@ -467,6 +536,7 @@ class CampaignRunner:
                 min(self.backoff_max, self.backoff_base * (2.0 ** attempt))
             )
         assert last_error is not None
+        self._discard_snapshot(snapshot_path)
         return RunOutcome(
             run_id=spec.run_id,
             status="failed",
@@ -475,6 +545,22 @@ class CampaignRunner:
             error_message=str(last_error),
             elapsed_seconds=time.monotonic() - start,
         )
+
+    @staticmethod
+    def _discard_snapshot(snapshot_path: Optional[str]) -> None:
+        """Drop a point's within-run snapshot at a *terminal* outcome.
+
+        Success no longer needs the seed; terminal failure must not
+        leave it either, or a later resume could fast-forward from a
+        snapshot captured under a different attempt's fault schedule.
+        Mid-retry snapshots (a timed-out attempt resuming where it
+        stopped) are untouched — this runs only when the point is done.
+        """
+        if snapshot_path is not None and os.path.exists(snapshot_path):
+            try:
+                os.remove(snapshot_path)
+            except OSError:
+                pass
 
     # -- checkpoint plumbing -------------------------------------------
 
@@ -559,39 +645,158 @@ class CampaignRunner:
                 store.clear()
 
         campaign = CampaignResult()
-        status = "complete"
-        pending_error: Optional[ReproError] = None
+        if self._progress is not None:
+            self._progress.begin(len(specs), workers=self.workers)
         try:
-            for spec in specs:
-                fingerprint = spec.fingerprint()
-                entry = prior.get(spec.run_id)
-                if entry is not None and entry.get("fingerprint") == fingerprint:
-                    outcome = self._outcome_of(entry)
-                    campaign.resumed.append(spec.run_id)
-                else:
-                    outcome = self._run_spec(spec)
-                    if store is not None:
-                        store.append(self._entry_of(outcome, fingerprint))
-                self._record(campaign, outcome)
-                if not outcome.ok and self.on_error == "fail":
-                    status = "failed"
-                    pending_error = self._failure_error(outcome)
-                    break
-                if self._on_outcome is not None:
-                    self._on_outcome(outcome)
+            if self.workers == 1:
+                status, pending_error = self._drive_serial(
+                    specs, prior, store, campaign
+                )
+            else:
+                status, pending_error = self._drive_parallel(
+                    specs, prior, store, campaign
+                )
         except KeyboardInterrupt:
+            self._order_campaign(campaign, specs)
             if store is not None:
                 campaign.manifest = self._write_manifest(
                     store, "interrupted", len(specs), campaign
                 )
+            if self._progress is not None:
+                self._progress.finish("interrupted")
             raise
+        self._order_campaign(campaign, specs)
         if store is not None:
             campaign.manifest = self._write_manifest(
                 store, status, len(specs), campaign
             )
+        if self._progress is not None:
+            self._progress.finish(status)
         if pending_error is not None:
             raise pending_error
         return campaign
+
+    # -- serial schedule (workers=1) -----------------------------------
+
+    def _drive_serial(
+        self,
+        specs: Sequence[RunSpec],
+        prior: Dict[str, Dict[str, Any]],
+        store: Optional[CheckpointStore],
+        campaign: CampaignResult,
+    ) -> "Tuple[str, Optional[ReproError]]":
+        """The historical one-point-at-a-time schedule."""
+        for spec in specs:
+            fingerprint = spec.fingerprint()
+            entry = prior.get(spec.run_id)
+            if entry is not None and entry.get("fingerprint") == fingerprint:
+                outcome = self._outcome_of(entry)
+                campaign.resumed.append(spec.run_id)
+            else:
+                if self._progress is not None:
+                    self._progress.point_started(spec.run_id)
+                outcome = self._run_spec(spec)
+                if store is not None:
+                    store.append(self._entry_of(outcome, fingerprint))
+            self._record(campaign, outcome)
+            if self._progress is not None:
+                self._progress.point_finished(outcome)
+            # The terminal callback fires for *every* terminal outcome —
+            # including the failing one under on_error="fail", which
+            # historically broke out of the loop before notifying.
+            if self._on_outcome is not None:
+                self._on_outcome(outcome)
+            if not outcome.ok and self.on_error == "fail":
+                return "failed", self._failure_error(outcome)
+        return "complete", None
+
+    # -- parallel schedule (workers>1) ---------------------------------
+
+    def _drive_parallel(
+        self,
+        specs: Sequence[RunSpec],
+        prior: Dict[str, Dict[str, Any]],
+        store: Optional[CheckpointStore],
+        campaign: CampaignResult,
+    ) -> "Tuple[str, Optional[ReproError]]":
+        """Fan the campaign out across persistent worker slots."""
+        queue: List[Tuple[RunSpec, str]] = []
+        for spec in specs:
+            fingerprint = spec.fingerprint()
+            entry = prior.get(spec.run_id)
+            if entry is not None and entry.get("fingerprint") == fingerprint:
+                outcome = self._outcome_of(entry)
+                campaign.resumed.append(spec.run_id)
+                self._record(campaign, outcome)
+                if self._progress is not None:
+                    self._progress.point_finished(outcome)
+                if self._on_outcome is not None:
+                    self._on_outcome(outcome)
+                if not outcome.ok and self.on_error == "fail":
+                    return "failed", self._failure_error(outcome)
+            else:
+                queue.append((spec, fingerprint))
+        self._prewarm_caches([spec for spec, _ in queue])
+        driver = _ParallelDriver(self, queue, store, campaign)
+        return driver.drive()
+
+    def _prewarm_caches(self, specs: Sequence[RunSpec]) -> None:
+        """Compile each unique workload-trace prefix once, pre-fork.
+
+        Without this every worker that first touches a given
+        ``(workload, seed, length)`` would regenerate — and race to
+        compile — the same prefix; warmed in the parent, the workers
+        all mmap one shared compiled trace.  The cache stays an
+        accelerator: any failure here just means workers fall back to
+        the generator.
+        """
+        warmed = set()
+        for spec in specs:
+            trace = spec.trace
+            if not _cacheable(trace, spec.max_instructions):
+                continue
+            key = (trace.name, trace.seed, spec.max_instructions)
+            if key in warmed:
+                continue
+            warmed.add(key)
+            try:
+                from repro.workloads.cache import prewarm_workload_trace
+
+                prewarm_workload_trace(
+                    trace.name, seed=trace.seed,
+                    instructions=spec.max_instructions,
+                )
+            except ReproError:
+                pass  # e.g. unknown workload: the attempt will report it
+
+    @staticmethod
+    def _order_campaign(
+        campaign: CampaignResult, specs: Sequence[RunSpec]
+    ) -> None:
+        """Re-order the campaign's views into spec order.
+
+        Parallel completion is out of order; re-keying by the spec list
+        makes the returned campaign (and the manifest derived from it)
+        independent of scheduling, so ``workers=N`` output is directly
+        comparable to ``workers=1``.
+        """
+        order = [spec.run_id for spec in specs]
+        campaign.results = {
+            run_id: campaign.results[run_id]
+            for run_id in order if run_id in campaign.results
+        }
+        campaign.failures = {
+            run_id: campaign.failures[run_id]
+            for run_id in order if run_id in campaign.failures
+        }
+        campaign.outcomes = {
+            run_id: campaign.outcomes[run_id]
+            for run_id in order if run_id in campaign.outcomes
+        }
+        resumed = set(campaign.resumed)
+        campaign.resumed = [
+            run_id for run_id in order if run_id in resumed
+        ]
 
     @staticmethod
     def _record(campaign: CampaignResult, outcome: RunOutcome) -> None:
@@ -651,6 +856,7 @@ class CampaignRunner:
                     "on_error": self.on_error,
                     "isolation": self.isolation,
                     "snapshot_every": self.snapshot_every,
+                    "workers": self.workers,
                 },
                 "trace_records_skipped": {
                     "total": sum(skipped_by_run.values()),
@@ -659,3 +865,304 @@ class CampaignRunner:
                 "metrics": metrics,
             },
         )
+
+
+class _WorkerSlot:
+    """One persistent single-process worker of the parallel pool.
+
+    Each slot owns its own ``ProcessPoolExecutor(max_workers=1)``.
+    Killing a worker of a *shared* N-process pool marks the whole pool
+    broken — every outstanding future raises ``BrokenProcessPool`` —
+    so the only way to kill a timed-out attempt without disturbing its
+    siblings is one executor per worker.  Between attempts the slot's
+    process persists, amortising interpreter start-up and imports over
+    the whole campaign instead of paying them per attempt.
+    """
+
+    __slots__ = ("index", "executor")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.executor = ProcessPoolExecutor(max_workers=1)
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> Any:
+        return self.executor.submit(fn, *args)
+
+    def kill(self) -> None:
+        """Kill the worker process and respawn a fresh one.
+
+        Used for deadline expiry (the worker is wedged or over budget)
+        and for crash recovery (the pool is broken either way).
+        """
+        CampaignRunner._kill_workers(self.executor)
+        self.executor.shutdown(wait=True, cancel_futures=True)
+        self.executor = ProcessPoolExecutor(max_workers=1)
+
+    # A broken pool is discarded exactly like a killed one.
+    reset = kill
+
+    def shutdown(self) -> None:
+        """Tear the slot down for good (kills a still-busy worker)."""
+        CampaignRunner._kill_workers(self.executor)
+        self.executor.shutdown(wait=True, cancel_futures=True)
+
+
+@dataclass
+class _PointState:
+    """Scheduler-side state of one not-yet-terminal campaign point."""
+
+    spec: RunSpec
+    fingerprint: str
+    snapshot_path: Optional[str]
+    #: 0-based index of the next attempt to launch.
+    attempt: int = 0
+    #: Monotonic time of the first launch (None until then).
+    start: Optional[float] = None
+
+
+class _ParallelDriver:
+    """The ``workers>1`` campaign schedule.
+
+    Keeps up to N points in flight across N :class:`_WorkerSlot`\\ s and
+    reproduces the serial runner's per-point semantics exactly:
+
+    - **Timeouts** are *deadlines* recorded at submission.  The driver
+      never blocks in ``future.result(timeout=...)``; it waits with
+      ``concurrent.futures.wait`` bounded by the earliest deadline (or
+      retry-eligibility time) and kills only the expired slot.
+    - **Backoff** never blocks the pool: a retryable failure pushes the
+      point onto a min-heap keyed by its eligibility time, and the slot
+      immediately takes other work.  The backoff schedule — ``min(max,
+      base * 2**attempt)`` — is the serial one.  Only when *nothing* is
+      running does the driver actually sleep (through the runner's
+      injectable ``sleep``, so tests with a no-op sleep make progress
+      instead of spinning).
+    - **Fail-fast** (``on_error="fail"``) finalises the failing point
+      (checkpoint, record, callbacks), then stops scheduling; the
+      ``finally`` teardown kills the outstanding workers and drains
+      their executors before the failed manifest is written.
+    - **Unpicklable specs** (legacy lambda traces) cannot cross the
+      process boundary; they run synchronously in the driver through
+      the serial retry loop, exactly as ``workers=1`` would.
+
+    Checkpoint entries are appended in completion order; resume is
+    keyed by ``run_id``, so the out-of-order file replays identically.
+    """
+
+    def __init__(
+        self,
+        runner: CampaignRunner,
+        queue: List[Tuple[RunSpec, str]],
+        store: Optional[CheckpointStore],
+        campaign: CampaignResult,
+    ) -> None:
+        self.runner = runner
+        self.store = store
+        self.campaign = campaign
+        self.ready: List[_PointState] = [
+            _PointState(spec, fingerprint, runner._snapshot_path(spec))
+            for spec, fingerprint in queue
+        ]
+        #: ``(eligible_time, seq, point)`` min-heap of backing-off retries.
+        self.waiting: List[Tuple[float, int, _PointState]] = []
+        self._seq = itertools.count()
+        self.status = "complete"
+        self.pending_error: Optional[ReproError] = None
+
+    def drive(self) -> Tuple[str, Optional[ReproError]]:
+        runner = self.runner
+        slots = [
+            _WorkerSlot(i)
+            for i in range(min(runner.workers, len(self.ready)))
+        ]
+        idle = list(slots)
+        #: future -> (point, slot, deadline | None)
+        running: Dict[Any, Tuple[_PointState, _WorkerSlot, Optional[float]]] = {}
+        try:
+            while self.ready or self.waiting or running:
+                now = time.monotonic()
+                while self.waiting and self.waiting[0][0] <= now:
+                    self.ready.append(heapq.heappop(self.waiting)[2])
+                while idle and self.ready:
+                    if self._launch(self.ready.pop(0), idle, running):
+                        return self.status, self.pending_error
+                if not running:
+                    if not (self.ready or self.waiting):
+                        break
+                    if not self.ready:
+                        # Everything is backing off.  Sleep out the head
+                        # delay, then launch it unconditionally — the
+                        # sleep is injectable and may be a no-op.
+                        eligible, _, point = heapq.heappop(self.waiting)
+                        delay = max(0.0, eligible - time.monotonic())
+                        if delay:
+                            runner._sleep(delay)
+                        self.ready.append(point)
+                    continue
+                done, _ = futures_wait(
+                    running,
+                    timeout=self._wait_timeout(running),
+                    return_when=FIRST_COMPLETED,
+                )
+                now = time.monotonic()
+                for future, (point, slot, deadline) in list(running.items()):
+                    if future in done or future.done():
+                        continue
+                    if deadline is not None and deadline <= now:
+                        del running[future]
+                        slot.kill()
+                        idle.append(slot)
+                        error = RunTimeoutError(
+                            f"run {point.spec.run_id!r} exceeded "
+                            f"{runner.timeout:g}s (attempt {point.attempt + 1})"
+                        )
+                        if self._attempt_failed(point, error, now):
+                            return self.status, self.pending_error
+                for future in done:
+                    point, slot, _ = running.pop(future)
+                    if self._complete(future, point, slot, idle):
+                        return self.status, self.pending_error
+            return self.status, self.pending_error
+        finally:
+            for slot in slots:
+                slot.shutdown()
+
+    # -- scheduling steps ----------------------------------------------
+
+    def _launch(
+        self,
+        point: _PointState,
+        idle: List[_WorkerSlot],
+        running: Dict[Any, Tuple[_PointState, _WorkerSlot, Optional[float]]],
+    ) -> bool:
+        """Dispatch one attempt; True when fail-fast stops the campaign."""
+        runner = self.runner
+        spec = point.spec
+        if point.start is None:
+            point.start = time.monotonic()
+            if runner._progress is not None:
+                runner._progress.point_started(spec.run_id)
+        if not _is_picklable(spec):
+            # The spec cannot cross the process boundary: run its whole
+            # serial retry loop inline, blocking the driver (it could
+            # never have parallelised anyway).
+            outcome = runner._run_spec(spec)
+            return self._finalize(outcome, point.fingerprint)
+        slot = idle.pop()
+        deadline = (
+            None if runner.timeout is None
+            else time.monotonic() + runner.timeout
+        )
+        future = slot.submit(
+            execute_spec, spec, point.attempt,
+            runner.snapshot_every, point.snapshot_path,
+        )
+        running[future] = (point, slot, deadline)
+        return False
+
+    def _complete(
+        self,
+        future: Any,
+        point: _PointState,
+        slot: _WorkerSlot,
+        idle: List[_WorkerSlot],
+    ) -> bool:
+        """Absorb one finished future; True when fail-fast stops."""
+        runner = self.runner
+        spec = point.spec
+        now = time.monotonic()
+        error: Optional[ReproError] = None
+        try:
+            result = future.result()
+        except KeyboardInterrupt:
+            raise
+        except BrokenProcessPool as broken:
+            slot.reset()
+            error = SimulationError(
+                f"run {spec.run_id!r}: worker process died "
+                f"(attempt {point.attempt + 1}): {broken}"
+            )
+        except ReproError as raised:
+            error = raised
+        except Exception as raised:
+            error = SimulationError(
+                f"run {spec.run_id!r} raised "
+                f"{type(raised).__name__}: {raised}"
+            )
+        idle.append(slot)
+        if error is not None:
+            return self._attempt_failed(point, error, now)
+        runner._discard_snapshot(point.snapshot_path)
+        assert point.start is not None
+        outcome = RunOutcome(
+            run_id=spec.run_id,
+            status="ok",
+            attempts=point.attempt + 1,
+            result=result,
+            elapsed_seconds=now - point.start,
+        )
+        return self._finalize(outcome, point.fingerprint)
+
+    def _attempt_failed(
+        self, point: _PointState, error: ReproError, now: float
+    ) -> bool:
+        """Retry or finalise a failed attempt; True when fail-fast stops."""
+        runner = self.runner
+        if error.retryable and point.attempt < runner.retries:
+            delay = min(
+                runner.backoff_max,
+                runner.backoff_base * (2.0 ** point.attempt),
+            )
+            point.attempt += 1
+            heapq.heappush(
+                self.waiting, (now + delay, next(self._seq), point)
+            )
+            return False
+        runner._discard_snapshot(point.snapshot_path)
+        assert point.start is not None
+        outcome = RunOutcome(
+            run_id=point.spec.run_id,
+            status="failed",
+            attempts=point.attempt + 1,
+            error_kind=error_kind(error),
+            error_message=str(error),
+            elapsed_seconds=now - point.start,
+        )
+        return self._finalize(outcome, point.fingerprint)
+
+    def _finalize(self, outcome: RunOutcome, fingerprint: str) -> bool:
+        """Checkpoint/record/notify one terminal outcome.
+
+        Returns True when the outcome triggers ``on_error="fail"`` —
+        the caller must stop scheduling and let teardown kill the rest.
+        """
+        runner = self.runner
+        if self.store is not None:
+            self.store.append(runner._entry_of(outcome, fingerprint))
+        runner._record(self.campaign, outcome)
+        if runner._progress is not None:
+            runner._progress.point_finished(outcome)
+        if runner._on_outcome is not None:
+            runner._on_outcome(outcome)
+        if not outcome.ok and runner.on_error == "fail":
+            self.status = "failed"
+            self.pending_error = runner._failure_error(outcome)
+            return True
+        return False
+
+    def _wait_timeout(
+        self,
+        running: Dict[Any, Tuple[_PointState, _WorkerSlot, Optional[float]]],
+    ) -> Optional[float]:
+        """How long ``wait`` may block: to the nearest deadline or the
+        nearest retry-eligibility time, whichever comes first."""
+        marks = [
+            deadline
+            for _, _, deadline in running.values()
+            if deadline is not None
+        ]
+        if self.waiting:
+            marks.append(self.waiting[0][0])
+        if not marks:
+            return None
+        return max(0.0, min(marks) - time.monotonic())

@@ -5,9 +5,13 @@ A campaign directory holds two files:
 ``checkpoint.jsonl``
     One JSON object per *terminal* run outcome (``ok`` or ``failed``),
     appended the moment the outcome is known and flushed to disk, so a
-    killed campaign loses at most the point that was in flight.  On
-    ``--resume`` the runner replays this file and skips every point
-    whose ``run_id`` and spec fingerprint match.
+    killed campaign loses at most the points that were in flight.  A
+    parallel campaign (``workers>1``) appends in *completion* order,
+    not spec order; replay is keyed by ``run_id`` (last entry wins and
+    torn trailing lines are ignored), so an out-of-order file resumes
+    exactly like an in-order one.  On ``--resume`` the runner replays
+    this file and skips every point whose ``run_id`` and spec
+    fingerprint match.
 
 ``manifest.json``
     A human-readable summary rewritten at the end of every run (and on

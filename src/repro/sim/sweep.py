@@ -19,6 +19,13 @@ resume::
 Failed points are simply absent from the returned dict when the runner's
 policy is ``on_error="skip"``; consult ``runner``'s campaign manifest
 for the failure records.
+
+``workers=N`` is a shorthand for a process-isolated fail-fast runner
+that keeps N points in flight at once — same results as the default
+inline runner, in less wall-clock.  Note that lambda/closure trace
+factories cannot cross the process boundary and run serially inline;
+pass picklable specs (or a :class:`~repro.runner.WorkloadSpec`-based
+campaign) to actually parallelise.
 """
 
 from __future__ import annotations
@@ -41,15 +48,25 @@ FIGURE10_CACHES: List[Tuple[int, int, str]] = [
 ]
 
 
-def _default_runner() -> CampaignRunner:
-    """Legacy semantics: in-process, no retry, raise on first failure."""
+def _default_runner(workers: int = 1) -> CampaignRunner:
+    """Legacy semantics: in-process, no retry, raise on first failure.
+
+    With ``workers > 1`` the runner keeps fail-fast semantics but fans
+    points out across persistent worker processes.
+    """
+    if workers > 1:
+        return CampaignRunner(
+            on_error="fail", isolation="process", workers=workers
+        )
     return CampaignRunner(on_error="fail", isolation="inline")
 
 
 def _run_specs(
-    specs: List[RunSpec], runner: Optional[CampaignRunner]
+    specs: List[RunSpec],
+    runner: Optional[CampaignRunner],
+    workers: int = 1,
 ) -> Dict[str, SimulationResult]:
-    campaign = (runner or _default_runner()).run(specs)
+    campaign = (runner or _default_runner(workers)).run(specs)
     # Keep sweep order (campaign.results is insertion-ordered already,
     # but resumed points interleave identically because specs drive it).
     return {
@@ -65,6 +82,7 @@ def run_configs(
     max_instructions: Optional[int] = None,
     warmup_instructions: int = 0,
     runner: Optional[CampaignRunner] = None,
+    workers: int = 1,
 ) -> Dict[str, SimulationResult]:
     """Run every labelled config against fresh copies of the same workload."""
     specs = [
@@ -77,7 +95,7 @@ def run_configs(
         )
         for label, config in configs.items()
     ]
-    return _run_specs(specs, runner)
+    return _run_specs(specs, runner, workers)
 
 
 def cache_sweep(
@@ -87,6 +105,7 @@ def cache_sweep(
     warmup_instructions: int = 0,
     geometries: Optional[List[Tuple[int, int, str]]] = None,
     runner: Optional[CampaignRunner] = None,
+    workers: int = 1,
 ) -> Dict[str, SimulationResult]:
     """Run one config across the Figure 10 L1 geometries."""
     geometries = geometries if geometries is not None else FIGURE10_CACHES
@@ -100,4 +119,4 @@ def cache_sweep(
         )
         for size_bytes, associativity, label in geometries
     ]
-    return _run_specs(specs, runner)
+    return _run_specs(specs, runner, workers)

@@ -33,6 +33,8 @@ import io
 import mmap
 import os
 import struct
+import time
+import uuid
 from typing import IO, Iterable, Iterator, List, Union
 
 from repro.errors import TraceFormatError
@@ -63,12 +65,38 @@ __all__ = [
     "HEADER_BYTES",
     "RECORD_BYTES",
     "SUFFIX",
+    "binary_trace_count",
     "compile_trace",
     "load_binary_trace",
     "load_binary_trace_list",
     "read_header",
     "sniff_binary",
 ]
+
+#: Temp files this old (seconds) are presumed orphaned by a dead writer.
+_STALE_TMP_SECONDS = 3600.0
+
+
+def _sweep_stale_tmp(destination: str, max_age: float = _STALE_TMP_SECONDS) -> None:
+    """Remove orphaned ``destination + ".tmp*"`` files left by writers
+    that died mid-compile.  Only files older than ``max_age`` go — a
+    young temp file may belong to a live concurrent compiler."""
+    directory = os.path.dirname(destination) or "."
+    prefix = os.path.basename(destination) + ".tmp"
+    try:
+        entries = os.listdir(directory)
+    except OSError:
+        return
+    now = time.time()
+    for entry in entries:
+        if not entry.startswith(prefix):
+            continue
+        path = os.path.join(directory, entry)
+        try:
+            if now - os.path.getmtime(path) > max_age:
+                os.unlink(path)
+        except OSError:
+            pass
 
 
 def _pack_record(record: TraceRecord, index: int) -> bytes:
@@ -118,8 +146,11 @@ def compile_trace(
 
     if isinstance(destination, str):
         # Write to a temp name and rename into place, so readers (and
-        # the workload cache) never observe a half-written trace.
-        tmp_path = destination + ".tmp"
+        # the workload cache) never observe a half-written trace.  The
+        # temp name is unique per writer: concurrent processes compiling
+        # the same cache entry (a parallel campaign's workers) must not
+        # interleave into one file and rename a corrupt trace into place.
+        tmp_path = f"{destination}.tmp.{os.getpid()}.{uuid.uuid4().hex[:8]}"
         try:
             with open(tmp_path, "wb") as handle:
                 written = _write(handle)
@@ -134,6 +165,7 @@ def compile_trace(
                     os.unlink(tmp_path)
                 except OSError:
                     pass
+            _sweep_stale_tmp(destination)
         return written
     return _write(destination)
 
@@ -207,6 +239,20 @@ def _map_payload(path: str):
         )
     count = read_header(buffer)
     return buffer, count
+
+
+def binary_trace_count(path: str) -> int:
+    """Validate a compiled trace's header and return its record count.
+
+    Cheap (header + file size only — the payload is never iterated), so
+    callers like the workload-cache pre-warm can test "is this entry
+    complete?" without paying a full load.  Raises
+    :class:`TraceFormatError` for a missing, stale, or corrupt file.
+    """
+    buffer, count = _map_payload(path)
+    if isinstance(buffer, mmap.mmap):
+        buffer.close()
+    return count
 
 
 def load_binary_trace(source: Union[str, bytes]) -> Iterator[TraceRecord]:

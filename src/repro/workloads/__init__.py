@@ -15,6 +15,7 @@ from repro.workloads.cache import (
     cache_path,
     cached_workload_trace,
     clear_cache,
+    prewarm_workload_trace,
 )
 from repro.workloads.registry import (
     POINTER_WORKLOADS,
@@ -36,5 +37,6 @@ __all__ = [
     "clear_cache",
     "get_workload",
     "get_workload_generator",
+    "prewarm_workload_trace",
     "workload_names",
 ]

@@ -23,13 +23,20 @@ from repro.errors import TraceFormatError
 from repro.trace.binfmt import (
     SUFFIX,
     VERSION,
+    binary_trace_count,
     compile_trace,
     load_binary_trace_list,
 )
 from repro.trace.record import TraceRecord
 from repro.workloads.registry import get_workload
 
-__all__ = ["cache_dir", "cache_path", "cached_workload_trace", "clear_cache"]
+__all__ = [
+    "cache_dir",
+    "cache_path",
+    "cached_workload_trace",
+    "clear_cache",
+    "prewarm_workload_trace",
+]
 
 
 def cache_dir() -> str:
@@ -85,6 +92,40 @@ def cached_workload_trace(
     if records is not None:
         return records
     return list(itertools.islice(get_workload(name, seed=seed), instructions))
+
+
+def prewarm_workload_trace(
+    name: str, seed: int = 1, instructions: int = 0
+) -> bool:
+    """Ensure the cache entry for ``(name, seed, instructions)`` exists.
+
+    Compiles the workload prefix if it is missing, stale, or incomplete,
+    without loading the records into memory afterwards.  A campaign
+    driver calls this once in the parent before fanning points out to
+    worker processes, so N workers mmap one shared compiled trace
+    instead of each re-running the generator (or racing to compile the
+    same entry).  Returns True when a valid entry is in place, False
+    when the cache is unwritable — workers then fall back to the
+    generator, which is slower but always correct.
+    """
+    if instructions <= 0:
+        raise ValueError("prewarm_workload_trace needs instructions > 0")
+    path = cache_path(name, seed, instructions)
+    try:
+        if binary_trace_count(path) == instructions:
+            return True
+    except TraceFormatError:
+        pass
+    source = get_workload(name, seed=seed)
+    try:
+        os.makedirs(cache_dir(), exist_ok=True)
+        compile_trace(path, source, limit=instructions)
+    except (OSError, TraceFormatError):
+        return False
+    try:
+        return binary_trace_count(path) == instructions
+    except TraceFormatError:
+        return False
 
 
 def _try_load(path: str, instructions: int) -> Optional[List[TraceRecord]]:

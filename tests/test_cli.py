@@ -106,6 +106,30 @@ class TestSweepCommand:
         assert main(args + ["--resume"]) == 0
         assert "resumed" in capsys.readouterr().out
 
+    def test_parallel_workers_all_points_ok(self, tmp_path, capsys):
+        d = str(tmp_path / "camp")
+        code = main(
+            ["sweep", "health", "--machines", "base,stride,psb",
+             "--instructions", "2000", "--warmup", "500",
+             "--workers", "2", "--progress", "--campaign-dir", d]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out.count(" ok ") >= 3 or "ok" in captured.out
+        assert "campaign complete" in captured.err  # --progress narration
+        manifest = json.load(open(os.path.join(d, "manifest.json")))
+        assert manifest["status"] == "complete"
+        assert manifest["ok"] == 3 and manifest["failed"] == 0
+        assert manifest["policy"]["workers"] == 2
+
+    def test_workers_with_no_isolate_exits_one(self, capsys):
+        code = main(
+            ["sweep", "health", "--machines", "base", "--workers", "2"]
+            + self._FAST
+        )
+        assert code == 1
+        assert "isolation" in capsys.readouterr().err
+
 
 class TestExitCodes:
     def test_success_exits_zero(self):

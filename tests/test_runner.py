@@ -119,6 +119,18 @@ class TestDegradationPolicy:
         with pytest.raises(TraceFormatError):
             _inline(on_error="fail").run(self._specs())
 
+    def test_fail_fast_still_notifies_on_outcome(self):
+        # Regression: the fail-fast break used to run before the
+        # terminal callback, so the *failing* outcome was never
+        # delivered to on_outcome.
+        seen = []
+        with pytest.raises(TraceFormatError):
+            _inline(
+                on_error="fail",
+                on_outcome=lambda o: seen.append((o.run_id, o.ok)),
+            ).run(self._specs())
+        assert seen == [("a", True), ("bad", False)]
+
     def test_duplicate_run_ids_rejected(self):
         with pytest.raises(ConfigError):
             _inline().run([_spec("x"), _spec("x")])
@@ -242,6 +254,32 @@ class TestResume:
         campaign = _inline(campaign_dir=d, resume=True).run([spec])
         assert campaign.resumed == ["bad"]
         assert campaign.failures["bad"].error_kind == "TraceFormatError"
+
+
+class TestSnapshotCleanup:
+    def test_success_removes_snapshot(self, tmp_path):
+        d = str(tmp_path / "camp")
+        campaign = _inline(campaign_dir=d, snapshot_every=50).run(
+            [_spec("ok-point")]
+        )
+        assert campaign.outcomes["ok-point"].ok
+        snapdir = os.path.join(d, "snapshots")
+        assert os.path.isdir(snapdir)  # a snapshot was written mid-run
+        assert os.listdir(snapdir) == []
+
+    def test_terminal_failure_removes_snapshot(self, tmp_path):
+        # Regression: only the success path cleaned up, so a terminally
+        # failed point left its per-spec .snap behind — and a later
+        # campaign reusing the fingerprint would silently fast-forward
+        # from the dead attempt's state.
+        d = str(tmp_path / "camp")
+        campaign = _inline(campaign_dir=d, snapshot_every=50).run(
+            [_spec("bad", faults=FaultSpec(corrupt_at=800))]
+        )
+        assert campaign.failures["bad"].error_kind == "TraceFormatError"
+        snapdir = os.path.join(d, "snapshots")
+        assert os.path.isdir(snapdir)  # a snapshot was written mid-run
+        assert os.listdir(snapdir) == []
 
 
 class TestProcessFallback:

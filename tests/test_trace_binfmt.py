@@ -130,6 +130,84 @@ class TestHeaderValidation:
             load_binary_trace_list(path)
 
 
+class TestConcurrentCompile:
+    def test_tmp_name_is_unique_per_writer(self, tmp_path, monkeypatch):
+        # Regression: the temp file used to be the fixed name
+        # ``destination + ".tmp"``, so two processes compiling the same
+        # cache entry interleaved writes into one file and renamed a
+        # corrupt trace into place.
+        seen = []
+        real_replace = os.replace
+
+        def spying_replace(src, dst):
+            seen.append(src)
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spying_replace)
+        destination = str(tmp_path / "t.rtb")
+        compile_trace(destination, iter(RECORDS))
+        compile_trace(destination, iter(RECORDS))
+        assert len(seen) == 2
+        assert seen[0] != seen[1]
+        for tmp in seen:
+            assert os.path.basename(tmp).startswith("t.rtb.tmp.")
+            assert not os.path.exists(tmp)  # renamed or cleaned up
+
+    def test_failed_compile_cleans_its_tmp(self, tmp_path):
+        destination = str(tmp_path / "t.rtb")
+
+        def poisoned():
+            yield RECORDS[0]
+            raise RuntimeError("generator died mid-compile")
+
+        with pytest.raises(RuntimeError):
+            compile_trace(destination, poisoned())
+        assert os.listdir(tmp_path) == []
+
+    def test_stale_orphan_tmp_is_swept(self, tmp_path):
+        destination = str(tmp_path / "t.rtb")
+        orphan = destination + ".tmp.99999.deadbeef"
+        with open(orphan, "wb") as handle:
+            handle.write(b"half-written")
+        old = os.path.getmtime(orphan) - 7200
+        os.utime(orphan, (old, old))
+        fresh = destination + ".tmp.99999.cafef00d"
+        with open(fresh, "wb") as handle:
+            handle.write(b"live writer")
+        compile_trace(destination, iter(RECORDS))
+        assert not os.path.exists(orphan)  # old enough: presumed dead
+        assert os.path.exists(fresh)  # young: may be a live compiler
+        assert load_binary_trace_list(destination) == RECORDS
+
+    def test_multiprocess_cache_stress(self, tmp_path, monkeypatch):
+        # Many processes resolving the same cold cache entry at once:
+        # every one must get the exact generator prefix, and no
+        # ``.tmp.*`` stragglers may survive.
+        import multiprocessing
+
+        cache = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(cache))
+        with multiprocessing.Pool(4) as pool:
+            lengths = pool.map(_load_cached_len, [("health", 4, 400)] * 8)
+        assert lengths == [400] * 8
+        records = cached_workload_trace("health", seed=4, instructions=400)
+        assert records == list(
+            itertools.islice(get_workload("health", seed=4), 400)
+        )
+        stragglers = [
+            name for name in os.listdir(cache) if ".tmp." in name
+        ]
+        assert stragglers == []
+
+
+def _load_cached_len(args):
+    """Pool worker for the stress test (module-level: must pickle)."""
+    name, seed, instructions = args
+    return len(
+        cached_workload_trace(name, seed=seed, instructions=instructions)
+    )
+
+
 class TestWorkloadCache:
     @pytest.fixture(autouse=True)
     def _isolated_cache(self, tmp_path, monkeypatch):

@@ -41,6 +41,7 @@ DOC_FILES = [
     "docs/running.md",
     "docs/observability.md",
     "docs/integrity.md",
+    "docs/robustness.md",
     "docs/performance.md",
     "docs/extending.md",
     "docs/paper_mapping.md",

@@ -34,6 +34,8 @@ PUBLIC_MODULES = [
     "repro.sim.presets",
     "repro.sim.results",
     "repro.runner.campaign",
+    "repro.runner.chaos",
+    "repro.runner.audit",
     "repro.obs",
     "repro.obs.metrics",
     "repro.obs.tracing",

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Smoke check: tier-1 tests, an invariant-checked simulation, a
-# golden-model differential check, and one tiny end-to-end
-# fault-injected campaign (crash + hang + checkpointed resume) through
-# the real CLI entry points.  Exits non-zero on the first problem.
+# golden-model differential check, a chaos-injected sweep verified by
+# the offline auditor, and one tiny end-to-end fault-injected campaign
+# (crash + hang + checkpointed resume) through the real CLI entry
+# points.  Exits non-zero on the first problem.
 #
 # Usage: scripts/smoke.sh [extra pytest args...]
 set -euo pipefail
@@ -82,6 +83,30 @@ assert manifest["policy"]["workers"] == 2, manifest
 print("smoke: parallel sweep manifest checks passed")
 EOF
 rm -rf "$parallel_dir"
+
+echo
+echo "== chaos-injected sweep (--chaos-seed 7, 1 poisoned point) =="
+chaos_dir="$(mktemp -d)"
+python -m repro sweep health --machines base,stride,psb,jouppi \
+    --instructions 2000 --warmup 500 --workers 2 --progress \
+    --chaos-seed 7 --chaos-poison 1 --max-worker-kills 2 \
+    --campaign-dir "$chaos_dir"
+python -m repro audit "$chaos_dir"
+python - "$chaos_dir" <<'EOF'
+import json, os, sys
+manifest = json.load(open(os.path.join(sys.argv[1], "manifest.json")))
+assert manifest["status"] == "complete", manifest
+assert manifest["ok"] == 3, manifest
+assert manifest["failed"] == 0, manifest
+assert manifest["poisoned"] == 1, manifest
+counters = manifest["chaos"]["counters"]
+assert counters["checkpoint_enospc"] == 1, counters
+assert counters["checkpoint_torn"] == 1, counters
+assert counters["worker_kills"] >= 1, counters
+assert counters["cache_corrupted"] >= 1, counters
+print("smoke: chaos sweep manifest + audit checks passed")
+EOF
+rm -rf "$chaos_dir"
 
 echo
 echo "== end-to-end campaign with fault injection =="

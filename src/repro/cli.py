@@ -12,6 +12,7 @@ Usage (also available as ``python -m repro``)::
     repro-sim check health --machine psb --instructions 20000
     repro-sim sweep health --campaign-dir camp --timeout 120 --retries 1 \
         --snapshot-every 50000
+    repro-sim audit camp
 
 Exit status: 0 on success, 1 on any :class:`~repro.errors.ReproError`
 (printed as a one-line message, never a traceback), 130 on Ctrl-C.
@@ -284,6 +285,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "--golden", action="store_true",
         help="diff every completed point against the golden functional "
              "model (requires --warmup 0)",
+    )
+    sweep.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="SEED",
+        help="inject a deterministic, seeded schedule of environment "
+             "faults (failing checkpoint appends, worker kills, cache "
+             "corruption) for durability testing; requires --workers 2+",
+    )
+    sweep.add_argument(
+        "--chaos-poison", type=int, default=0, metavar="N",
+        help="with --chaos-seed: how many points have their worker "
+             "killed on every launch until poisoned (default: 0)",
+    )
+    sweep.add_argument(
+        "--max-worker-kills", type=int, default=3, metavar="N",
+        help="worker deaths a point survives before it is marked "
+             "poisoned and the campaign moves on (default: 3)",
+    )
+
+    audit = commands.add_parser(
+        "audit",
+        help="verify a campaign directory's artifacts are consistent",
+        description=(
+            "Offline consistency audit of a campaign directory: "
+            "checkpoint line CRCs, run_id/fingerprint coherence, result "
+            "round-trips, manifest-vs-checkpoint agreement, and leftover "
+            "snapshots/temp files.  Exit status 1 when any error-level "
+            "issue is found (the artifacts disagree with each other); "
+            "warnings report damage the runner already recovered from."
+        ),
+    )
+    audit.add_argument(
+        "campaign_dir", metavar="CAMPAIGN_DIR",
+        help="directory holding checkpoint.jsonl and manifest.json",
+    )
+    audit.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as failures too",
     )
 
     check = commands.add_parser(
@@ -693,6 +731,18 @@ def _command_sweep(args: argparse.Namespace) -> int:
             )
     if not machines:
         raise ConfigError("no machines selected", field="sweep.machines")
+    chaos = None
+    if args.chaos_seed is not None:
+        from repro.runner import ChaosSpec
+
+        chaos = ChaosSpec.scheduled(
+            args.chaos_seed, points=len(machines), poison=args.chaos_poison
+        )
+    elif args.chaos_poison:
+        raise ConfigError(
+            "sweep: --chaos-poison requires --chaos-seed",
+            field="sweep.chaos_poison",
+        )
 
     specs = [
         RunSpec(
@@ -722,6 +772,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
         resume=args.resume,
         snapshot_every=args.snapshot_every,
         progress=progress,
+        chaos=chaos,
+        max_worker_kills=args.max_worker_kills,
     )
     campaign = runner.run(specs)
 
@@ -743,10 +795,13 @@ def _command_sweep(args: argparse.Namespace) -> int:
                 ]
             )
         else:
+            label = (
+                "POISONED" if outcome.status == "poisoned" else "FAILED"
+            )
             rows.append(
                 [
                     machine,
-                    f"FAILED: {outcome.error_kind}",
+                    f"{label}: {outcome.error_kind}",
                     "-",
                     "-",
                     str(outcome.attempts),
@@ -778,6 +833,18 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_audit(args: argparse.Namespace) -> int:
+    from repro.runner import audit_campaign
+
+    report = audit_campaign(args.campaign_dir)
+    print(report.summary())
+    if not report.ok:
+        return 1
+    if args.strict and report.warnings:
+        return 1
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "workloads":
         return _command_workloads()
@@ -795,6 +862,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _command_check(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "audit":
+        return _command_audit(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -98,6 +98,18 @@ class RunTimeoutError(SimulationError):
     retryable = True
 
 
+class WorkerPoisonedError(SimulationError):
+    """A campaign point's worker died ``max_worker_kills`` times.
+
+    The watchdog stops feeding the point to fresh workers once the kill
+    budget is spent: whatever the point does, it takes its host process
+    down with it, so the campaign marks it *poisoned* and moves on.
+    Not retryable — the budget already was the retry policy.
+    """
+
+    retryable = False
+
+
 class IntegrityError(ReproError):
     """The simulation reached a provably inconsistent state.
 

@@ -20,6 +20,8 @@ from __future__ import annotations
 import itertools
 import os
 import pickle
+import uuid
+import zlib
 from typing import Iterable, Iterator, Optional
 
 from repro.errors import SimulationError
@@ -35,7 +37,7 @@ class SimSnapshot:
     simulator that produced it).
     """
 
-    __slots__ = ("payload", "cycle", "records_consumed", "label")
+    __slots__ = ("payload", "cycle", "records_consumed", "label", "checksum")
 
     def __init__(
         self, payload: bytes, cycle: int, records_consumed: int, label: str
@@ -44,6 +46,7 @@ class SimSnapshot:
         self.cycle = cycle
         self.records_consumed = records_consumed
         self.label = label
+        self.checksum = zlib.crc32(payload) & 0xFFFFFFFF
 
     @classmethod
     def capture(cls, simulator, state, label: str = "run") -> "SimSnapshot":
@@ -53,29 +56,69 @@ class SimSnapshot:
         )
         return cls(payload, state.cycle, state.records_consumed, label)
 
+    def verify(self) -> None:
+        """Raise :class:`SimulationError` if the payload was modified.
+
+        The checksum is taken over the machine-state pickle at capture
+        time, so a bit flip anywhere in the (dominant) payload blob is
+        caught before :meth:`restore` can deserialize garbage machine
+        state into a resumed run.
+        """
+        found = zlib.crc32(self.payload) & 0xFFFFFFFF
+        if found != self.checksum:
+            raise SimulationError(
+                f"corrupt snapshot {self.label!r}: payload CRC32 is "
+                f"{found:#010x}, captured as {self.checksum:#010x}"
+            )
+
     def restore(self):
         """A fresh ``(simulator, run_state)`` pair from the payload."""
+        self.verify()
         return pickle.loads(self.payload)
 
     def save(self, path: str) -> None:
         """Write atomically: a reader never sees a torn snapshot."""
         directory = os.path.dirname(path) or "."
         os.makedirs(directory, exist_ok=True)
-        tmp_path = path + ".tmp"
-        with open(tmp_path, "wb") as handle:
-            pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, path)
+        tmp_path = f"{path}.tmp.{os.getpid()}.{uuid.uuid4().hex[:8]}"
+        try:
+            with open(tmp_path, "wb") as handle:
+                pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        finally:
+            if os.path.exists(tmp_path):
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
 
     @classmethod
     def load(cls, path: str) -> "SimSnapshot":
-        with open(path, "rb") as handle:
-            snapshot = pickle.load(handle)
+        """Read and verify a snapshot file.
+
+        Any failure — unreadable file, torn/truncated pickle, a payload
+        whose CRC32 disagrees with the captured checksum — surfaces as
+        :class:`SimulationError`, never a raw ``pickle``/``EOFError``
+        traceback, so callers can quarantine the file and restart the
+        run from scratch.
+        """
+        try:
+            with open(path, "rb") as handle:
+                snapshot = pickle.load(handle)
+        except SimulationError:
+            raise
+        except Exception as error:
+            raise SimulationError(
+                f"cannot read snapshot {path!r}: "
+                f"{type(error).__name__}: {error}"
+            )
         if not isinstance(snapshot, cls):
             raise SimulationError(
                 f"{path!r} does not contain a simulation snapshot"
             )
+        snapshot.verify()
         return snapshot
 
     def __getstate__(self):
@@ -84,6 +127,10 @@ class SimSnapshot:
     def __setstate__(self, state):
         for name, value in state.items():
             setattr(self, name, value)
+        # Snapshots written before the checksum slot existed verify
+        # against their own payload (no integrity claim either way).
+        if "checksum" not in state:
+            self.checksum = zlib.crc32(self.payload) & 0xFFFFFFFF
 
     def __repr__(self) -> str:
         return (

@@ -258,11 +258,16 @@ def metrics_payload(
     """
     import dataclasses
 
+    from repro.workloads.cache import cache_stats
+
     payload: Dict[str, Any] = {
         "format": "repro-obs-metrics-v1",
         "interval": simulator.obs.sample_interval,
         "meta": dict(meta or {}),
         "result": dataclasses.asdict(result),
+        # Compiled-trace cache health: ``corrupt_recompiled`` > 0 means
+        # checksum validation caught (and healed) damaged cache entries.
+        "trace_cache": cache_stats(),
     }
     payload.update(simulator.obs.metrics.to_payload())
     return payload

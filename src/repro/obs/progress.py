@@ -42,6 +42,7 @@ class CampaignProgress:
         self.workers = 1
         self.done = 0
         self.failed = 0
+        self.poisoned = 0
         self.resumed = 0
         self.in_flight: Set[str] = set()
         #: ``run_id`` -> elapsed seconds of every finished point.
@@ -55,7 +56,7 @@ class CampaignProgress:
         """A campaign of ``total`` points starts on ``workers`` workers."""
         self.total = total
         self.workers = max(1, workers)
-        self.done = self.failed = self.resumed = 0
+        self.done = self.failed = self.poisoned = self.resumed = 0
         self.in_flight = set()
         self.elapsed = {}
         self._executed_times = []
@@ -72,6 +73,11 @@ class CampaignProgress:
         self.elapsed[outcome.run_id] = outcome.elapsed_seconds
         if not outcome.ok:
             self.failed += 1
+            # Poisoned points (their worker kept dying) are a subset of
+            # failed — surfaced separately so a sweep's operator can
+            # tell "bad spec" from "bad environment" at a glance.
+            if getattr(outcome, "status", None) == "poisoned":
+                self.poisoned += 1
         if outcome.resumed:
             self.resumed += 1
         else:
@@ -83,10 +89,13 @@ class CampaignProgress:
         """The campaign ended with ``status``."""
         if self._emit is not None:
             wall = self._clock() - self._started_at
+            poisoned = (
+                f" ({self.poisoned} poisoned)" if self.poisoned else ""
+            )
             self._emit(
                 f"campaign {status}: {self.done - self.failed} ok, "
-                f"{self.failed} failed, {self.resumed} resumed from "
-                f"checkpoint in {wall:.1f}s"
+                f"{self.failed} failed{poisoned}, {self.resumed} resumed "
+                f"from checkpoint in {wall:.1f}s"
             )
 
     # -- derived views -------------------------------------------------
@@ -112,7 +121,12 @@ class CampaignProgress:
         """One human-readable progress line, optionally for ``outcome``."""
         parts = [f"[{self.done}/{self.total}]"]
         if outcome is not None:
-            status = "ok" if outcome.ok else f"FAILED ({outcome.error_kind})"
+            if outcome.ok:
+                status = "ok"
+            elif getattr(outcome, "status", None) == "poisoned":
+                status = f"POISONED ({outcome.error_kind})"
+            else:
+                status = f"FAILED ({outcome.error_kind})"
             if outcome.resumed:
                 status += " (resumed)"
             parts.append(
@@ -133,6 +147,7 @@ class CampaignProgress:
             "total": self.total,
             "done": self.done,
             "failed": self.failed,
+            "poisoned": self.poisoned,
             "resumed": self.resumed,
             "in_flight": sorted(self.in_flight),
             "remaining": self.remaining,

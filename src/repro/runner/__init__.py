@@ -18,6 +18,7 @@ Quickstart::
     # ...completed points are loaded from checkpoint, not re-run.
 """
 
+from repro.runner.audit import AuditIssue, AuditReport, audit_campaign
 from repro.runner.campaign import (
     CampaignResult,
     CampaignRunner,
@@ -27,6 +28,7 @@ from repro.runner.campaign import (
     WorkloadSpec,
     execute_spec,
 )
+from repro.runner.chaos import ChaosEngine, ChaosSpec, corrupt_binary_file
 from repro.runner.checkpoint import (
     CHECKPOINT_NAME,
     MANIFEST_NAME,
@@ -44,8 +46,14 @@ from repro.runner.faults import (
 )
 
 __all__ = [
+    "AuditIssue",
+    "AuditReport",
+    "audit_campaign",
     "CampaignResult",
     "CampaignRunner",
+    "ChaosEngine",
+    "ChaosSpec",
+    "corrupt_binary_file",
     "RunOutcome",
     "RunSpec",
     "TraceFileSpec",

@@ -40,6 +40,18 @@ failure-handling machinery that a long unattended sweep needs:
   recording (fail-fast, the legacy in-process sweep behaviour).  A
   parallel fail-fast kills the outstanding workers, drains the
   scheduler, and writes the failed manifest before re-raising.
+- **Worker watchdog** — a worker that dies *without raising* (kill -9,
+  OOM, segfault) is respawned and its point relaunched with bounded
+  backoff, on a kill budget separate from the retry budget; after
+  ``max_worker_kills`` deaths the point is finalised as **poisoned**
+  (a distinct terminal state in the checkpoint, manifest, and
+  progress) and the campaign continues.  If deaths keep coming with no
+  completion in between, the driver falls back to inline execution —
+  slower, but the campaign finishes.
+- **Chaos** — an optional :class:`~repro.runner.chaos.ChaosSpec`
+  injects deterministic environment faults (failing checkpoint
+  appends, worker kills, cache/snapshot corruption, torn manifest
+  writes) for durability testing; see :mod:`repro.runner.chaos`.
 - **Progress** — an optional tracker (duck-typed against
   :class:`repro.obs.progress.CampaignProgress`) receives
   ``begin``/``point_started``/``point_finished``/``finish`` hooks, for
@@ -86,8 +98,10 @@ from repro.errors import (
     RunTimeoutError,
     SimulationError,
     TraceFormatError,
+    WorkerPoisonedError,
     error_kind,
 )
+from repro.runner.chaos import ChaosEngine, ChaosSpec
 from repro.runner.checkpoint import (
     CheckpointStore,
     result_from_dict,
@@ -160,7 +174,7 @@ class RunOutcome:
     """Terminal result of one campaign point."""
 
     run_id: str
-    status: str  # "ok" | "failed"
+    status: str  # "ok" | "failed" | "poisoned"
     attempts: int
     result: Optional[SimulationResult] = None
     error_kind: Optional[str] = None
@@ -292,8 +306,22 @@ def execute_spec(
             snapshot.save(snapshot_path)
 
     resumed_cycle: Optional[int] = None
+    snapshot: Optional["SimSnapshot"] = None
+    snapshot_quarantined = False
     if snapshot_path is not None and os.path.exists(snapshot_path):
-        snapshot = SimSnapshot.load(snapshot_path)
+        try:
+            snapshot = SimSnapshot.load(snapshot_path)
+        except SimulationError:
+            # A corrupt/torn snapshot must never poison the retry: move
+            # it aside (post-mortem evidence, audit-visible) and run the
+            # attempt from scratch — slower, but always correct.
+            snapshot = None
+            snapshot_quarantined = True
+            try:
+                os.replace(snapshot_path, snapshot_path + ".corrupt")
+            except OSError:
+                pass
+    if snapshot is not None:
         simulator, state = snapshot.restore()
         machine["simulator"] = simulator
         resumed_cycle = snapshot.cycle
@@ -317,6 +345,8 @@ def execute_spec(
         )
     if resumed_cycle is not None:
         result.extra["resumed_from_cycle"] = float(resumed_cycle)
+    if snapshot_quarantined:
+        result.extra["snapshot_quarantined"] = 1.0
     if trace_errors:
         result.extra["trace_records_skipped"] = float(len(trace_errors))
     if spec.golden_check:
@@ -375,6 +405,9 @@ class CampaignRunner:
         sleep: Callable[[float], None] = time.sleep,
         on_outcome: Optional[Callable[[RunOutcome], None]] = None,
         progress: Optional[Any] = None,
+        chaos: Optional[ChaosSpec] = None,
+        max_worker_kills: int = 3,
+        inline_fallback_after: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ConfigError(
@@ -432,6 +465,27 @@ class CampaignRunner:
                 "to store snapshots in",
                 field="CampaignRunner.snapshot_every",
             )
+        if max_worker_kills < 1:
+            raise ConfigError(
+                "CampaignRunner.max_worker_kills: must be >= 1",
+                field="CampaignRunner.max_worker_kills",
+            )
+        if inline_fallback_after is not None and inline_fallback_after < 1:
+            raise ConfigError(
+                "CampaignRunner.inline_fallback_after: must be >= 1",
+                field="CampaignRunner.inline_fallback_after",
+            )
+        if (
+            chaos is not None
+            and (chaos.kill_points or chaos.poison_points)
+            and workers < 2
+        ):
+            raise ConfigError(
+                "CampaignRunner.chaos: kill_points/poison_points need "
+                "workers >= 2 (only the parallel driver owns worker "
+                "slots to kill)",
+                field="CampaignRunner.chaos",
+            )
         self.campaign_dir = campaign_dir
         self.snapshot_every = snapshot_every
         self.workers = workers
@@ -442,9 +496,19 @@ class CampaignRunner:
         self.on_error = on_error
         self.isolation = isolation
         self.resume = resume
+        self.chaos = chaos
+        self.max_worker_kills = max_worker_kills
+        #: Consecutive worker deaths (across points) before the driver
+        #: stops trusting the pool and runs the rest inline.
+        self.inline_fallback_after = (
+            inline_fallback_after
+            if inline_fallback_after is not None
+            else 2 * workers + 2
+        )
         self._sleep = sleep
         self._on_outcome = on_outcome
         self._progress = progress
+        self._chaos_engine: Optional[ChaosEngine] = None
 
     # -- single-attempt execution -------------------------------------
 
@@ -485,9 +549,17 @@ class CampaignRunner:
             process.kill()
 
     def _attempt(
-        self, spec: RunSpec, attempt: int, snapshot_path: Optional[str] = None
+        self,
+        spec: RunSpec,
+        attempt: int,
+        snapshot_path: Optional[str] = None,
+        force_inline: bool = False,
     ) -> SimulationResult:
-        if self.isolation == "process" and _is_picklable(spec):
+        if (
+            not force_inline
+            and self.isolation == "process"
+            and _is_picklable(spec)
+        ):
             return self._attempt_in_subprocess(spec, attempt, snapshot_path)
         return execute_spec(spec, attempt, self.snapshot_every, snapshot_path)
 
@@ -501,7 +573,7 @@ class CampaignRunner:
 
     # -- retry loop ----------------------------------------------------
 
-    def _run_spec(self, spec: RunSpec) -> RunOutcome:
+    def _run_spec(self, spec: RunSpec, force_inline: bool = False) -> RunOutcome:
         start = time.monotonic()
         last_error: Optional[ReproError] = None
         attempts = 0
@@ -509,7 +581,9 @@ class CampaignRunner:
         for attempt in range(self.retries + 1):
             attempts = attempt + 1
             try:
-                result = self._attempt(spec, attempt, snapshot_path)
+                result = self._attempt(
+                    spec, attempt, snapshot_path, force_inline=force_inline
+                )
                 self._discard_snapshot(snapshot_path)
                 return RunOutcome(
                     run_id=spec.run_id,
@@ -532,6 +606,8 @@ class CampaignRunner:
                 )
             if not last_error.retryable or attempt == self.retries:
                 break
+            if self._chaos_engine is not None and snapshot_path is not None:
+                self._chaos_engine.maybe_corrupt_snapshot(snapshot_path)
             self._sleep(
                 min(self.backoff_max, self.backoff_base * (2.0 ** attempt))
             )
@@ -579,7 +655,7 @@ class CampaignRunner:
             ),
             "error": (
                 {"kind": outcome.error_kind, "message": outcome.error_message}
-                if outcome.status == "failed"
+                if outcome.status != "ok"
                 else None
             ),
         }
@@ -621,6 +697,7 @@ class CampaignRunner:
             "TraceFormatError": TraceFormatError,
             "RunTimeoutError": RunTimeoutError,
             "IntegrityError": IntegrityError,
+            "WorkerPoisonedError": WorkerPoisonedError,
         }
         return kinds.get(outcome.error_kind or "", SimulationError)(message)
 
@@ -635,10 +712,15 @@ class CampaignRunner:
                 )
             seen[spec.run_id] = spec
 
+        self._chaos_engine = (
+            ChaosEngine(self.chaos)
+            if self.chaos is not None and not self.chaos.is_noop
+            else None
+        )
         store: Optional[CheckpointStore] = None
         prior: Dict[str, Dict[str, Any]] = {}
         if self.campaign_dir is not None:
-            store = CheckpointStore(self.campaign_dir)
+            store = CheckpointStore(self.campaign_dir, chaos=self._chaos_engine)
             if self.resume:
                 prior = store.load()
             else:
@@ -659,7 +741,7 @@ class CampaignRunner:
         except KeyboardInterrupt:
             self._order_campaign(campaign, specs)
             if store is not None:
-                campaign.manifest = self._write_manifest(
+                campaign.manifest = self._try_write_manifest(
                     store, "interrupted", len(specs), campaign
                 )
             if self._progress is not None:
@@ -667,7 +749,7 @@ class CampaignRunner:
             raise
         self._order_campaign(campaign, specs)
         if store is not None:
-            campaign.manifest = self._write_manifest(
+            campaign.manifest = self._try_write_manifest(
                 store, status, len(specs), campaign
             )
         if self._progress is not None:
@@ -720,8 +802,8 @@ class CampaignRunner:
         campaign: CampaignResult,
     ) -> "Tuple[str, Optional[ReproError]]":
         """Fan the campaign out across persistent worker slots."""
-        queue: List[Tuple[RunSpec, str]] = []
-        for spec in specs:
+        queue: List[Tuple[int, RunSpec, str]] = []
+        for index, spec in enumerate(specs):
             fingerprint = spec.fingerprint()
             entry = prior.get(spec.run_id)
             if entry is not None and entry.get("fingerprint") == fingerprint:
@@ -735,12 +817,14 @@ class CampaignRunner:
                 if not outcome.ok and self.on_error == "fail":
                     return "failed", self._failure_error(outcome)
             else:
-                queue.append((spec, fingerprint))
-        self._prewarm_caches([spec for spec, _ in queue])
+                queue.append((index, spec, fingerprint))
+        warmed = self._prewarm_caches([spec for _, spec, _ in queue])
+        if self._chaos_engine is not None:
+            self._chaos_engine.corrupt_cache_entries(warmed)
         driver = _ParallelDriver(self, queue, store, campaign)
         return driver.drive()
 
-    def _prewarm_caches(self, specs: Sequence[RunSpec]) -> None:
+    def _prewarm_caches(self, specs: Sequence[RunSpec]) -> List[str]:
         """Compile each unique workload-trace prefix once, pre-fork.
 
         Without this every worker that first touches a given
@@ -748,9 +832,11 @@ class CampaignRunner:
         compile — the same prefix; warmed in the parent, the workers
         all mmap one shared compiled trace.  The cache stays an
         accelerator: any failure here just means workers fall back to
-        the generator.
+        the generator.  Returns the paths of the entries warmed — the
+        chaos engine's cache-corruption target list.
         """
         warmed = set()
+        paths: List[str] = []
         for spec in specs:
             trace = spec.trace
             if not _cacheable(trace, spec.max_instructions):
@@ -760,14 +846,23 @@ class CampaignRunner:
                 continue
             warmed.add(key)
             try:
-                from repro.workloads.cache import prewarm_workload_trace
+                from repro.workloads.cache import (
+                    cache_path,
+                    prewarm_workload_trace,
+                )
 
-                prewarm_workload_trace(
+                if prewarm_workload_trace(
                     trace.name, seed=trace.seed,
                     instructions=spec.max_instructions,
-                )
+                ):
+                    paths.append(
+                        cache_path(
+                            trace.name, trace.seed, spec.max_instructions
+                        )
+                    )
             except ReproError:
                 pass  # e.g. unknown workload: the attempt will report it
+        return paths
 
     @staticmethod
     def _order_campaign(
@@ -807,6 +902,25 @@ class CampaignRunner:
         else:
             campaign.failures[outcome.run_id] = outcome
 
+    def _try_write_manifest(
+        self,
+        store: CheckpointStore,
+        status: str,
+        total: int,
+        campaign: CampaignResult,
+    ) -> Optional[Dict[str, Any]]:
+        """Write the manifest, absorbing write failures.
+
+        Atomicity guarantees a failed write leaves the previous
+        manifest (if any) intact; the campaign result is already in
+        memory, so a manifest that cannot land degrades reporting, not
+        correctness.
+        """
+        try:
+            return self._write_manifest(store, status, total, campaign)
+        except OSError:
+            return None
+
     def _write_manifest(
         self,
         store: CheckpointStore,
@@ -814,9 +928,14 @@ class CampaignRunner:
         total: int,
         campaign: CampaignResult,
     ) -> Dict[str, Any]:
+        # Give every entry that failed its durable append a second
+        # chance before the manifest summarizes the checkpoint; whatever
+        # is still stuck is declared as a gap the auditor can excuse.
+        store.flush_pending()
         failures = [
             {
                 "run_id": outcome.run_id,
+                "status": outcome.status,
                 "kind": outcome.error_kind,
                 "message": outcome.error_message,
                 "attempts": outcome.attempts,
@@ -843,27 +962,38 @@ class CampaignRunner:
             }
             for run_id, result in campaign.results.items()
         }
+        extra: Dict[str, Any] = {
+            "policy": {
+                "timeout": self.timeout,
+                "retries": self.retries,
+                "on_error": self.on_error,
+                "isolation": self.isolation,
+                "snapshot_every": self.snapshot_every,
+                "workers": self.workers,
+                "max_worker_kills": self.max_worker_kills,
+            },
+            "trace_records_skipped": {
+                "total": sum(skipped_by_run.values()),
+                "by_run": skipped_by_run,
+            },
+            "metrics": metrics,
+        }
+        # Entries whose checkpoint append never landed (disk failure
+        # that outlived the end-of-campaign retry): the auditor treats
+        # these as *declared* gaps rather than silent corruption.
+        if store.pending_ids:
+            extra["checkpoint_gaps"] = sorted(store.pending_ids)
+        if store.append_failures:
+            extra["checkpoint_append_failures"] = store.append_failures
+        if self._chaos_engine is not None:
+            extra["chaos"] = self._chaos_engine.summary()
         return store.write_manifest(
             status=status,
             total=total,
             completed=list(campaign.results),
             resumed=campaign.resumed,
             failures=failures,
-            extra={
-                "policy": {
-                    "timeout": self.timeout,
-                    "retries": self.retries,
-                    "on_error": self.on_error,
-                    "isolation": self.isolation,
-                    "snapshot_every": self.snapshot_every,
-                    "workers": self.workers,
-                },
-                "trace_records_skipped": {
-                    "total": sum(skipped_by_run.values()),
-                    "by_run": skipped_by_run,
-                },
-                "metrics": metrics,
-            },
+            extra=extra,
         )
 
 
@@ -914,10 +1044,17 @@ class _PointState:
     spec: RunSpec
     fingerprint: str
     snapshot_path: Optional[str]
+    #: Position of the spec in the campaign's spec list (scheduling-
+    #: independent, which is what keys chaos worker kills).
+    index: int = 0
     #: 0-based index of the next attempt to launch.
     attempt: int = 0
     #: Monotonic time of the first launch (None until then).
     start: Optional[float] = None
+    #: How many times this point's worker died without an exception
+    #: crossing back (kill -9, segfault).  Budgeted separately from
+    #: ``attempt``: worker deaths do not consume the retry policy.
+    worker_kills: int = 0
 
 
 class _ParallelDriver:
@@ -952,7 +1089,7 @@ class _ParallelDriver:
     def __init__(
         self,
         runner: CampaignRunner,
-        queue: List[Tuple[RunSpec, str]],
+        queue: List[Tuple[int, RunSpec, str]],
         store: Optional[CheckpointStore],
         campaign: CampaignResult,
     ) -> None:
@@ -960,14 +1097,21 @@ class _ParallelDriver:
         self.store = store
         self.campaign = campaign
         self.ready: List[_PointState] = [
-            _PointState(spec, fingerprint, runner._snapshot_path(spec))
-            for spec, fingerprint in queue
+            _PointState(
+                spec, fingerprint, runner._snapshot_path(spec), index=index
+            )
+            for index, spec, fingerprint in queue
         ]
         #: ``(eligible_time, seq, point)`` min-heap of backing-off retries.
         self.waiting: List[Tuple[float, int, _PointState]] = []
         self._seq = itertools.count()
         self.status = "complete"
         self.pending_error: Optional[ReproError] = None
+        #: Worker deaths with no successful completion in between; at
+        #: ``runner.inline_fallback_after`` the pool is declared
+        #: unsalvageable and the rest of the campaign runs inline.
+        self.consecutive_deaths = 0
+        self.inline_mode = False
 
     def drive(self) -> Tuple[str, Optional[ReproError]]:
         runner = self.runner
@@ -1042,11 +1186,13 @@ class _ParallelDriver:
             point.start = time.monotonic()
             if runner._progress is not None:
                 runner._progress.point_started(spec.run_id)
-        if not _is_picklable(spec):
-            # The spec cannot cross the process boundary: run its whole
-            # serial retry loop inline, blocking the driver (it could
-            # never have parallelised anyway).
-            outcome = runner._run_spec(spec)
+        if self.inline_mode or not _is_picklable(spec):
+            # Either the spec cannot cross the process boundary, or the
+            # pool has proven it cannot stay alive: run the point's
+            # whole serial retry loop inline, blocking the driver.
+            # Inline fallback trades parallelism (and timeouts) for
+            # forward progress — slower beats stuck.
+            outcome = runner._run_spec(spec, force_inline=self.inline_mode)
             return self._finalize(outcome, point.fingerprint)
         slot = idle.pop()
         deadline = (
@@ -1058,6 +1204,10 @@ class _ParallelDriver:
             runner.snapshot_every, point.snapshot_path,
         )
         running[future] = (point, slot, deadline)
+        if runner._chaos_engine is not None and runner._chaos_engine.kill_attempt(
+            point.index, point.worker_kills
+        ):
+            CampaignRunner._kill_workers(slot.executor)
         return False
 
     def _complete(
@@ -1072,16 +1222,17 @@ class _ParallelDriver:
         spec = point.spec
         now = time.monotonic()
         error: Optional[ReproError] = None
+        died: Optional[BrokenProcessPool] = None
         try:
             result = future.result()
         except KeyboardInterrupt:
             raise
         except BrokenProcessPool as broken:
+            # The worker vanished without raising (kill -9, OOM,
+            # segfault).  Respawn the slot; the watchdog decides below
+            # whether the *point* gets another launch.
             slot.reset()
-            error = SimulationError(
-                f"run {spec.run_id!r}: worker process died "
-                f"(attempt {point.attempt + 1}): {broken}"
-            )
+            died = broken
         except ReproError as raised:
             error = raised
         except Exception as raised:
@@ -1090,6 +1241,11 @@ class _ParallelDriver:
                 f"{type(raised).__name__}: {raised}"
             )
         idle.append(slot)
+        if died is not None:
+            return self._worker_died(point, died, now)
+        # The worker is demonstrably alive (it delivered a value or a
+        # real exception), so the pool-health streak resets.
+        self.consecutive_deaths = 0
         if error is not None:
             return self._attempt_failed(point, error, now)
         runner._discard_snapshot(point.snapshot_path)
@@ -1099,6 +1255,51 @@ class _ParallelDriver:
             status="ok",
             attempts=point.attempt + 1,
             result=result,
+            elapsed_seconds=now - point.start,
+        )
+        return self._finalize(outcome, point.fingerprint)
+
+    def _worker_died(
+        self, point: _PointState, broken: BrokenProcessPool, now: float
+    ) -> bool:
+        """The watchdog: absorb a worker death without raising.
+
+        A death consumes the point's *kill* budget, not its retry
+        budget (the attempt never reported anything to retry *from*).
+        Within budget the point is rescheduled with the same bounded
+        backoff as a retry; past ``max_worker_kills`` it is finalised
+        as **poisoned** — a distinct terminal state, so one hostile
+        point degrades to a single failure record instead of hanging
+        or sinking the campaign.  Deaths also feed the pool-wide
+        streak that triggers inline fallback.
+        """
+        runner = self.runner
+        point.worker_kills += 1
+        self.consecutive_deaths += 1
+        if self.consecutive_deaths >= runner.inline_fallback_after:
+            self.inline_mode = True
+        if point.worker_kills < runner.max_worker_kills:
+            delay = min(
+                runner.backoff_max,
+                runner.backoff_base * (2.0 ** (point.worker_kills - 1)),
+            )
+            heapq.heappush(
+                self.waiting, (now + delay, next(self._seq), point)
+            )
+            return False
+        runner._discard_snapshot(point.snapshot_path)
+        assert point.start is not None
+        outcome = RunOutcome(
+            run_id=point.spec.run_id,
+            status="poisoned",
+            attempts=point.attempt + point.worker_kills,
+            error_kind="WorkerPoisonedError",
+            error_message=(
+                f"run {point.spec.run_id!r}: worker died "
+                f"{point.worker_kills} times "
+                f"(max_worker_kills={runner.max_worker_kills}); "
+                f"point poisoned: {broken}"
+            ),
             elapsed_seconds=now - point.start,
         )
         return self._finalize(outcome, point.fingerprint)
@@ -1114,6 +1315,13 @@ class _ParallelDriver:
                 runner.backoff_base * (2.0 ** point.attempt),
             )
             point.attempt += 1
+            if (
+                runner._chaos_engine is not None
+                and point.snapshot_path is not None
+            ):
+                runner._chaos_engine.maybe_corrupt_snapshot(
+                    point.snapshot_path
+                )
             heapq.heappush(
                 self.waiting, (now + delay, next(self._seq), point)
             )

@@ -12,7 +12,7 @@ Layout (little-endian throughout)::
     0       8     magic  b"RTRACE\\x00\\x01"
     8       2     format version (u16)
     10      2     record size in bytes (u16)
-    12      4     reserved (zeros)
+    12      4     CRC32 of the record payload (u32)
     16      8     record count (u64)
     24      ...   records, ``record size`` bytes each
 
@@ -23,8 +23,14 @@ worth of instructions), but :func:`compile_trace` validates them
 anyway rather than silently truncating.
 
 The version lives in the header, not the magic, so a reader can say
-"stale version" rather than "not a trace".  Any header mismatch raises
-:class:`~repro.errors.TraceFormatError`.
+"stale version" rather than "not a trace".  The payload CRC32 is
+back-patched into the header at compile time and verified on every
+load, so a truncated, bit-flipped, or torn compiled trace is rejected
+up front — a corrupt cache entry can never feed garbage records into a
+simulation.  Any header mismatch raises
+:class:`~repro.errors.TraceFormatError` whose message carries the file
+offset and the expected-vs-found detail, mirroring the line-numbered
+errors of the text parser.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ import os
 import struct
 import time
 import uuid
+import zlib
 from typing import IO, Iterable, Iterator, List, Union
 
 from repro.errors import TraceFormatError
@@ -44,9 +51,10 @@ from repro.trace.record import InstrKind, TraceRecord
 MAGIC = b"RTRACE\x00\x01"
 
 #: Bump on any change to the record struct or header semantics.
-VERSION = 1
+#: v2 repurposed the reserved header bytes as a payload CRC32.
+VERSION = 2
 
-_HEADER = struct.Struct("<8sHH4xQ")
+_HEADER = struct.Struct("<8sHHIQ")
 _RECORD = struct.Struct("<BBIIQQ")
 
 HEADER_BYTES = _HEADER.size
@@ -132,15 +140,24 @@ def compile_trace(
     """
 
     def _write(handle: IO[bytes]) -> int:
-        handle.write(_HEADER.pack(MAGIC, VERSION, RECORD_BYTES, 0))
+        handle.write(_HEADER.pack(MAGIC, VERSION, RECORD_BYTES, 0, 0))
         written = 0
+        checksum = 0
         for record in records:
             if limit and written >= limit:
                 break
-            handle.write(_pack_record(record, written))
+            packed = _pack_record(record, written)
+            checksum = zlib.crc32(packed, checksum)
+            handle.write(packed)
             written += 1
+        # Back-patch the count and the payload checksum now that the
+        # stream is exhausted; readers verify both on every load.
         handle.seek(0)
-        handle.write(_HEADER.pack(MAGIC, VERSION, RECORD_BYTES, written))
+        handle.write(
+            _HEADER.pack(
+                MAGIC, VERSION, RECORD_BYTES, checksum & 0xFFFFFFFF, written
+            )
+        )
         handle.seek(0, io.SEEK_END)
         return written
 
@@ -170,41 +187,58 @@ def compile_trace(
     return _write(destination)
 
 
-def read_header(buffer: bytes) -> int:
+def read_header(buffer: bytes, verify_checksum: bool = True) -> int:
     """Validate a binary-trace header; return the record count.
 
     Raises :class:`TraceFormatError` on anything that is not a current-
-    version, well-formed header: wrong magic (not a binary trace at
-    all), stale version (recompile needed), wrong record stride, or a
-    count that disagrees with the payload length.
+    version, well-formed, checksum-consistent trace: wrong magic (not a
+    binary trace at all), stale version (recompile needed), wrong
+    record stride, a count that disagrees with the payload length, or a
+    payload whose CRC32 does not match the header (truncation at a
+    record boundary, bit flips, torn writes).  Every message carries
+    the byte offset of the problem and the expected-vs-found values.
+    ``verify_checksum=False`` skips only the (payload-sized) CRC pass.
     """
     if len(buffer) < HEADER_BYTES:
         raise TraceFormatError(
-            f"binary trace truncated: {len(buffer)} bytes is smaller "
-            f"than the {HEADER_BYTES}-byte header"
+            f"binary trace truncated at offset {len(buffer)}: expected "
+            f"a {HEADER_BYTES}-byte header, found {len(buffer)} bytes"
         )
-    magic, version, record_bytes, count = _HEADER.unpack_from(buffer, 0)
+    magic, version, record_bytes, checksum, count = _HEADER.unpack_from(
+        buffer, 0
+    )
     if magic != MAGIC:
         raise TraceFormatError(
-            f"not a binary trace: bad magic {magic!r}"
+            f"not a binary trace: at offset 0 expected magic {MAGIC!r}, "
+            f"found {bytes(magic)!r}"
         )
     if version != VERSION:
         raise TraceFormatError(
-            f"stale binary trace: format version {version}, "
-            f"reader supports {VERSION} — recompile the trace"
+            f"stale binary trace: at offset 8 expected format version "
+            f"{VERSION}, found {version} — recompile the trace"
         )
     if record_bytes != RECORD_BYTES:
         raise TraceFormatError(
-            f"corrupt binary trace: header claims {record_bytes}-byte "
-            f"records, format uses {RECORD_BYTES}"
+            f"corrupt binary trace: at offset 10 expected "
+            f"{RECORD_BYTES}-byte records, header claims {record_bytes}"
         )
     payload = len(buffer) - HEADER_BYTES
     if payload != count * RECORD_BYTES:
         raise TraceFormatError(
             f"corrupt binary trace: header claims {count} records "
-            f"({count * RECORD_BYTES} bytes) but payload is "
-            f"{payload} bytes"
+            f"({count * RECORD_BYTES} payload bytes) but the payload "
+            f"ends at offset {len(buffer)} ({payload} bytes — "
+            f"{'truncated' if payload < count * RECORD_BYTES else 'trailing garbage'})"
         )
+    if verify_checksum:
+        found = zlib.crc32(memoryview(buffer)[HEADER_BYTES:]) & 0xFFFFFFFF
+        if found != checksum:
+            raise TraceFormatError(
+                f"corrupt binary trace: header checksum {checksum:#010x} "
+                f"but payload CRC32 is {found:#010x} (bytes "
+                f"{HEADER_BYTES}..{len(buffer)} were modified after "
+                f"compile)"
+            )
     return count
 
 
@@ -244,10 +278,11 @@ def _map_payload(path: str):
 def binary_trace_count(path: str) -> int:
     """Validate a compiled trace's header and return its record count.
 
-    Cheap (header + file size only — the payload is never iterated), so
-    callers like the workload-cache pre-warm can test "is this entry
-    complete?" without paying a full load.  Raises
-    :class:`TraceFormatError` for a missing, stale, or corrupt file.
+    Cheap relative to a full load — one CRC32 pass over the mmap'd
+    payload, no record objects — so callers like the workload-cache
+    pre-warm can test "is this entry complete and uncorrupted?" without
+    materializing the records.  Raises :class:`TraceFormatError` for a
+    missing, stale, or corrupt file.
     """
     buffer, count = _map_payload(path)
     if isinstance(buffer, mmap.mmap):
@@ -271,6 +306,7 @@ def load_binary_trace(source: Union[str, bytes]) -> Iterator[TraceRecord]:
         read_header(buffer)
     record_cls = TraceRecord.__new__
     kinds = list(InstrKind)
+    index = 0
     try:
         for kind, taken, dep1, dep2, pc, addr in _RECORD.iter_unpack(
             memoryview(buffer)[HEADER_BYTES:]
@@ -280,8 +316,9 @@ def load_binary_trace(source: Union[str, bytes]) -> Iterator[TraceRecord]:
                 record.kind = kinds[kind]
             except IndexError:
                 raise TraceFormatError(
-                    f"corrupt binary trace: unknown instruction kind "
-                    f"{kind}"
+                    f"corrupt binary trace: record {index} at offset "
+                    f"{HEADER_BYTES + index * RECORD_BYTES} has unknown "
+                    f"instruction kind {kind} (expected 0..{len(kinds) - 1})"
                 )
             record.pc = pc
             record.addr = addr
@@ -289,6 +326,15 @@ def load_binary_trace(source: Union[str, bytes]) -> Iterator[TraceRecord]:
             record.dep1 = dep1
             record.dep2 = dep2
             yield record
+            index += 1
+    except struct.error as error:
+        # Cannot happen after read_header's length check, but a mmap of
+        # a file truncated *while being read* could still get here.
+        raise TraceFormatError(
+            f"corrupt binary trace: record {index} at offset "
+            f"{HEADER_BYTES + index * RECORD_BYTES} does not unpack: "
+            f"{error}"
+        )
     finally:
         if isinstance(buffer, mmap.mmap):
             buffer.close()

@@ -13,9 +13,11 @@ from repro.workloads.base import HeapModel, PcAllocator, WorkloadGenerator
 from repro.workloads.cache import (
     cache_dir,
     cache_path,
+    cache_stats,
     cached_workload_trace,
     clear_cache,
     prewarm_workload_trace,
+    reset_cache_stats,
 )
 from repro.workloads.registry import (
     POINTER_WORKLOADS,
@@ -33,10 +35,12 @@ __all__ = [
     "WORKLOADS",
     "cache_dir",
     "cache_path",
+    "cache_stats",
     "cached_workload_trace",
     "clear_cache",
     "get_workload",
     "get_workload_generator",
     "prewarm_workload_trace",
+    "reset_cache_stats",
     "workload_names",
 ]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 import os
-from typing import List, Optional
+from typing import List
 
 from repro.errors import TraceFormatError
 from repro.trace.binfmt import (
@@ -33,10 +33,30 @@ from repro.workloads.registry import get_workload
 __all__ = [
     "cache_dir",
     "cache_path",
+    "cache_stats",
     "cached_workload_trace",
     "clear_cache",
     "prewarm_workload_trace",
+    "reset_cache_stats",
 ]
+
+#: Per-process cache activity.  ``corrupt_recompiled`` counts entries
+#: that existed on disk but failed header/checksum validation and were
+#: recompiled in place — the signal that something is damaging the
+#: cache.  Campaign prewarm runs in the parent process, so the parent's
+#: counters cover the shared entries its workers mmap.
+_STATS = {"hits": 0, "misses": 0, "corrupt_recompiled": 0}
+
+
+def cache_stats() -> dict:
+    """A snapshot of this process's cache hit/miss/recompile counters."""
+    return dict(_STATS)
+
+
+def reset_cache_stats() -> None:
+    """Zero the cache counters (test isolation)."""
+    for key in _STATS:
+        _STATS[key] = 0
 
 
 def cache_dir() -> str:
@@ -78,9 +98,14 @@ def cached_workload_trace(
         raise ValueError("cached_workload_trace needs instructions > 0")
     path = cache_path(name, seed, instructions)
     if not refresh:
-        records = _try_load(path, instructions)
+        records, corrupt = _try_load(path, instructions)
         if records is not None:
+            _STATS["hits"] += 1
             return records
+        if corrupt:
+            _STATS["corrupt_recompiled"] += 1
+        else:
+            _STATS["misses"] += 1
     # Validate the name before touching the filesystem.
     source = get_workload(name, seed=seed)
     try:
@@ -88,7 +113,7 @@ def cached_workload_trace(
         compile_trace(path, source, limit=instructions)
     except (OSError, TraceFormatError):
         return list(itertools.islice(get_workload(name, seed=seed), instructions))
-    records = _try_load(path, instructions)
+    records, __ = _try_load(path, instructions)
     if records is not None:
         return records
     return list(itertools.islice(get_workload(name, seed=seed), instructions))
@@ -104,18 +129,28 @@ def prewarm_workload_trace(
     driver calls this once in the parent before fanning points out to
     worker processes, so N workers mmap one shared compiled trace
     instead of each re-running the generator (or racing to compile the
-    same entry).  Returns True when a valid entry is in place, False
-    when the cache is unwritable — workers then fall back to the
-    generator, which is slower but always correct.
+    same entry).  A cache hit re-validates the header checksum (via
+    :func:`repro.trace.binfmt.binary_trace_count`); a corrupt entry is
+    recompiled in place and counted in :func:`cache_stats`.  Returns
+    True when a valid entry is in place, False when the cache is
+    unwritable — workers then fall back to the generator, which is
+    slower but always correct.
     """
     if instructions <= 0:
         raise ValueError("prewarm_workload_trace needs instructions > 0")
     path = cache_path(name, seed, instructions)
+    corrupt = False
     try:
         if binary_trace_count(path) == instructions:
+            _STATS["hits"] += 1
             return True
+        corrupt = True
     except TraceFormatError:
-        pass
+        corrupt = os.path.exists(path)
+    if corrupt:
+        _STATS["corrupt_recompiled"] += 1
+    else:
+        _STATS["misses"] += 1
     source = get_workload(name, seed=seed)
     try:
         os.makedirs(cache_dir(), exist_ok=True)
@@ -128,17 +163,23 @@ def prewarm_workload_trace(
         return False
 
 
-def _try_load(path: str, instructions: int) -> Optional[List[TraceRecord]]:
-    """Load a cache file; None when absent, stale, corrupt, or short."""
+def _try_load(path: str, instructions: int):
+    """Load a cache file.
+
+    Returns ``(records, False)`` on success, ``(None, False)`` when the
+    entry is simply absent, and ``(None, True)`` when a file exists but
+    is stale, corrupt, or short — the caller decides whether that is a
+    miss or a recompile.
+    """
     if not os.path.exists(path):
-        return None
+        return None, False
     try:
         records = load_binary_trace_list(path)
     except TraceFormatError:
-        return None
+        return None, True
     if len(records) != instructions:
-        return None
-    return records
+        return None, True
+    return records, False
 
 
 def clear_cache() -> int:

@@ -71,6 +71,30 @@ class TestTallies:
         progress.point_finished(_outcome("bad", ok=False))
         assert "FAILED (SimulationError)" in lines[0]
 
+    def test_poisoned_points_are_tallied_and_named(self):
+        from repro.runner.campaign import RunOutcome
+
+        poisoned = RunOutcome(
+            run_id="cursed",
+            status="poisoned",
+            attempts=3,
+            error_kind="WorkerPoisonedError",
+            elapsed_seconds=1.0,
+        )
+        lines = []
+        progress = CampaignProgress(emit=lines.append, clock=lambda: 0.0)
+        progress.begin(2)
+        progress.point_finished(poisoned)
+        progress.point_finished(_outcome("bad", ok=False))
+        # Poisoned is a subset of failed, surfaced separately.
+        assert progress.failed == 2
+        assert progress.poisoned == 1
+        assert "POISONED (WorkerPoisonedError)" in lines[0]
+        snapshot = progress.snapshot()
+        assert snapshot["poisoned"] == 1
+        progress.finish("complete")
+        assert "(1 poisoned)" in lines[-1]
+
 
 class TestRunnerIntegration:
     def _specs(self):

@@ -161,6 +161,91 @@ def test_acceptance_faulted_campaign_completes_and_resumes(tmp_path):
     assert final_manifest["failed"] == 3
 
 
+class TestCheckpointReplayEdgeCases:
+    """Replay must shrug off the artifacts a hostile shutdown leaves."""
+
+    def _two_specs(self):
+        return [
+            _workload_spec("health/base", baseline_config()),
+            _workload_spec("health/stride", stride_config()),
+        ]
+
+    def test_duplicate_run_id_last_entry_wins(self, tmp_path):
+        from repro.runner.checkpoint import encode_entry
+
+        camp = str(tmp_path / "camp")
+        specs = self._two_specs()
+        first = CampaignRunner(camp, isolation="process").run(specs)
+        # Re-append the base point's entry with doctored bookkeeping —
+        # the kind of duplicate a crash between append and manifest
+        # write can produce.  Replay must take the *last* entry.
+        path = os.path.join(camp, CHECKPOINT_NAME)
+        entry = json.loads(open(path).readline())
+        entry.pop("crc32", None)
+        entry["attempts"] = 7
+        with open(path, "a") as handle:
+            handle.write(encode_entry(entry) + "\n")
+        resumed = CampaignRunner(
+            camp, isolation="process", resume=True
+        ).run(specs)
+        assert set(resumed.resumed) == {"health/base", "health/stride"}
+        assert resumed.outcomes["health/base"].attempts == 7
+        assert resumed.results["health/base"].ipc == first.results[
+            "health/base"
+        ].ipc
+
+    def test_torn_trailing_line_resumes_under_parallel_workers(
+        self, tmp_path
+    ):
+        camp = str(tmp_path / "camp")
+        specs = self._two_specs()
+        reference = CampaignRunner(camp, isolation="process").run(specs)
+        # Tear the final entry mid-line, as a kill -9 mid-append would.
+        path = os.path.join(camp, CHECKPOINT_NAME)
+        lines = open(path).read().splitlines()
+        torn_id = json.loads(lines[-1])["run_id"]
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines[:-1]) + "\n" + lines[-1][:37])
+        resumed = CampaignRunner(
+            camp, workers=2, isolation="process", resume=True
+        ).run(specs)
+        # The torn point re-ran; the intact one replayed; numbers match.
+        assert torn_id not in resumed.resumed
+        assert len(resumed.resumed) == 1
+        assert {
+            run_id: result.ipc for run_id, result in resumed.results.items()
+        } == {
+            run_id: result.ipc
+            for run_id, result in reference.results.items()
+        }
+        final = json.load(open(os.path.join(camp, MANIFEST_NAME)))
+        assert final["status"] == "complete"
+        assert final["ok"] == 2
+
+    def test_fingerprint_mismatch_reruns_under_parallel_workers(
+        self, tmp_path
+    ):
+        camp = str(tmp_path / "camp")
+        CampaignRunner(camp, isolation="process").run(self._two_specs())
+        changed = [
+            RunSpec(
+                run_id="health/base",
+                config=baseline_config(),
+                trace=WorkloadSpec("health", seed=1),
+                max_instructions=INSTRUCTIONS + 500,
+                warmup_instructions=WARMUP,
+            ),
+            _workload_spec("health/stride", stride_config()),
+        ]
+        resumed = CampaignRunner(
+            camp, workers=2, isolation="process", resume=True
+        ).run(changed)
+        assert resumed.resumed == ["health/stride"]
+        assert resumed.results["health/base"].instructions == (
+            INSTRUCTIONS + 500 - WARMUP
+        )
+
+
 @pytest.mark.slow
 def test_timeout_kills_hung_worker_and_campaign_continues(tmp_path):
     specs = [

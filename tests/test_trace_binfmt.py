@@ -98,9 +98,19 @@ class TestHeaderValidation:
         with open(path, "rb") as handle:
             return path, bytearray(handle.read())
 
+    @staticmethod
+    def _repack_checksum(blob):
+        """Recompute the header CRC after deliberate payload surgery, so
+        a test can reach the validation *behind* the checksum gate."""
+        import zlib
+
+        struct.pack_into(
+            "<I", blob, 12, zlib.crc32(bytes(blob[24:])) & 0xFFFFFFFF
+        )
+
     def test_bad_magic(self, tmp_path):
         path = self._write(tmp_path, b"NOTATRACE" + b"\x00" * 40)
-        with pytest.raises(TraceFormatError, match="bad magic"):
+        with pytest.raises(TraceFormatError, match="expected magic"):
             load_binary_trace_list(path)
 
     def test_stale_version(self, tmp_path):
@@ -110,18 +120,30 @@ class TestHeaderValidation:
         with pytest.raises(TraceFormatError, match="stale"):
             load_binary_trace_list(path)
 
-    def test_truncated_payload(self, tmp_path):
+    def test_truncated_payload_reports_offsets(self, tmp_path):
         path, blob = self._compiled(tmp_path)
         with open(path, "wb") as handle:
             handle.write(bytes(blob[:-5]))
-        with pytest.raises(TraceFormatError, match="corrupt"):
+        with pytest.raises(TraceFormatError, match="truncated"):
+            load_binary_trace_list(path)
+
+    def test_bitflip_fails_checksum_with_detail(self, tmp_path):
+        _, blob = self._compiled(tmp_path)
+        blob[30] ^= 0x40  # one bit, mid-payload
+        path = self._write(tmp_path, bytes(blob))
+        with pytest.raises(
+            TraceFormatError, match="checksum .* but payload CRC32"
+        ):
             load_binary_trace_list(path)
 
     def test_unknown_kind_byte(self, tmp_path):
         _, blob = self._compiled(tmp_path)
         blob[24] = 250  # first record's kind: no such InstrKind
+        self._repack_checksum(blob)  # get past the CRC gate
         path = self._write(tmp_path, bytes(blob))
-        with pytest.raises(TraceFormatError, match="kind"):
+        with pytest.raises(
+            TraceFormatError, match="record 0 at offset 24.*kind"
+        ):
             load_binary_trace_list(path)
 
     def test_empty_file(self, tmp_path):

@@ -42,6 +42,7 @@ DOC_FILES = [
     "docs/observability.md",
     "docs/integrity.md",
     "docs/robustness.md",
+    "docs/service.md",
     "docs/performance.md",
     "docs/extending.md",
     "docs/paper_mapping.md",
@@ -52,8 +53,9 @@ DOC_FILES = [
 # and are only compiled.
 EXEC_PYTHON_PAGES = {"README.md", "docs/observability.md"}
 
-# Subcommands too slow or environment-bound for the --run pass.
-SKIP_RUN_SUBCOMMANDS = {"bench"}
+# Subcommands too slow or environment-bound for the --run pass
+# (serve blocks forever; submit/jobs need a live server).
+SKIP_RUN_SUBCOMMANDS = {"bench", "serve", "submit", "jobs"}
 
 # Run-length clamp appended to simulation commands that don't pin one.
 RUN_INSTRUCTIONS = "2000"

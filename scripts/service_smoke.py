@@ -1,0 +1,224 @@
+#!/usr/bin/env python
+"""Kill-restart acceptance check for the campaign service.
+
+The scenario ISSUE 7 gates on, end to end through the real CLI:
+
+1. Run the identical campaign **uninterrupted** through
+   :class:`~repro.runner.campaign.CampaignRunner` — the reference
+   manifest.
+2. Start ``repro-sim serve`` with seeded service chaos (failing
+   job-log appends, a duplicated submission), submit the sweep, and
+   **SIGTERM the server mid-campaign** — after at least one point has
+   checkpointed but before the job finishes.
+3. Restart the server on the same service directory.  The job log
+   replays, the re-queued job is claimed again, and its campaign
+   resumes from its checkpoint.
+4. Assert the finished job's manifest is **bit-identical** to the
+   reference (modulo ``resumed_from_checkpoint``, which is provenance
+   — how the result was produced — not part of the result), that **no
+   point executed twice** (one checkpoint line per run_id), and that
+   ``repro-sim audit --strict`` exits 0 on the service directory.
+
+Usage: PYTHONPATH=src python scripts/service_smoke.py [--instructions N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def _python(*argv: str, **kwargs) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        env=_env(), capture_output=True, text=True, **kwargs
+    )
+
+
+def _start_server(service_dir: str, chaos_seed: int) -> tuple:
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", service_dir,
+            "--port", "0", "--lease-ttl", "10",
+            "--poll-interval", "0.05",
+            "--chaos-seed", str(chaos_seed),
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        env=_env(), text=True,
+    )
+    line = server.stdout.readline()
+    match = re.search(r"http://\S+", line)
+    if not match:
+        server.kill()
+        raise SystemExit(f"server did not announce a URL: {line!r}")
+    return server, match.group(0)
+
+
+def _stop_server(server: subprocess.Popen) -> None:
+    server.send_signal(signal.SIGTERM)
+    out, _ = server.communicate(timeout=120)
+    if server.returncode != 0:
+        raise SystemExit(
+            f"server exited {server.returncode} on SIGTERM:\n{out}"
+        )
+    sys.stdout.write(out)
+
+
+def _strip_provenance(manifest: dict) -> dict:
+    cleaned = dict(manifest)
+    # How many points were replayed from checkpoint is a record of the
+    # interruption, not of the campaign's results; everything else
+    # must match bit for bit.
+    cleaned.pop("resumed_from_checkpoint", None)
+    return cleaned
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--instructions", type=int, default=4000)
+    parser.add_argument("--chaos-seed", type=int, default=11)
+    args = parser.parse_args()
+
+    workdir = tempfile.mkdtemp(prefix="service-smoke-")
+    service_dir = os.path.join(workdir, "svc")
+    ref_dir = os.path.join(workdir, "ref")
+    spec_payload = {
+        "workload": "health",
+        "machines": "all",
+        "instructions": args.instructions,
+        "isolation": "inline",
+    }
+    try:
+        sys.path.insert(0, SRC)
+        from repro.runner.campaign import CampaignRunner
+        from repro.service import job_id_of, normalize_spec
+        from repro.service.http import build_campaign
+
+        spec = normalize_spec(spec_payload)
+        job_id = job_id_of(spec)
+        run_dir = os.path.join(service_dir, "runs", job_id)
+
+        print("== reference: uninterrupted serial campaign ==", flush=True)
+        specs, runner_kwargs = build_campaign(spec)
+        CampaignRunner(ref_dir, **runner_kwargs).run(specs)
+        with open(os.path.join(ref_dir, "manifest.json")) as handle:
+            reference = json.load(handle)
+        assert reference["status"] == "complete", reference
+
+        print("== serve + submit, SIGTERM mid-campaign ==", flush=True)
+        server, url = _start_server(service_dir, args.chaos_seed)
+        submit = _python(
+            "submit", "health", "--server", url,
+            "--machines", "all",
+            "--instructions", str(args.instructions),
+            "--no-isolate",
+        )
+        if submit.returncode != 0:
+            raise SystemExit(f"submit failed:\n{submit.stdout}{submit.stderr}")
+        print(submit.stdout, end="", flush=True)
+
+        # Wait until the job has durably finished at least one point,
+        # then kill the server while the rest are still pending.
+        checkpoint = os.path.join(run_dir, "checkpoint.jsonl")
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if os.path.exists(checkpoint) and os.path.getsize(checkpoint):
+                break
+            time.sleep(0.05)
+        else:
+            raise SystemExit("job never checkpointed a point")
+        _stop_server(server)
+
+        with open(os.path.join(run_dir, "manifest.json")) as handle:
+            interrupted = json.load(handle)
+        done = interrupted["ok"] + interrupted["failed"] + interrupted["poisoned"]
+        print(
+            f"killed mid-campaign: manifest status "
+            f"{interrupted['status']!r}, {done}/{reference['total_points']} "
+            f"points terminal",
+            flush=True,
+        )
+        if interrupted["status"] == "complete":
+            raise SystemExit(
+                "the campaign finished before the SIGTERM landed; "
+                "raise --instructions so the kill lands mid-campaign"
+            )
+
+        print("== restart, resume, wait for completion ==", flush=True)
+        server, url = _start_server(service_dir, args.chaos_seed)
+        deadline = time.monotonic() + 300
+        while True:
+            job = _python("jobs", job_id, "--server", url)
+            if job.returncode != 0:
+                raise SystemExit(f"jobs failed:\n{job.stdout}{job.stderr}")
+            state = json.loads(job.stdout)
+            if state["terminal"]:
+                break
+            if time.monotonic() > deadline:
+                raise SystemExit("job did not finish after restart")
+            time.sleep(0.2)
+        if state["state"] != "done":
+            raise SystemExit(f"job ended {state['state']!r}: {state}")
+        _stop_server(server)
+
+        print("== verify: bit-identical manifest, no duplicates ==",
+              flush=True)
+        with open(os.path.join(run_dir, "manifest.json")) as handle:
+            resumed = json.load(handle)
+        assert resumed.get("resumed_from_checkpoint", 0) > 0, (
+            "the resumed run replayed nothing from checkpoint — the "
+            "kill did not actually interrupt the campaign"
+        )
+        if _strip_provenance(resumed) != _strip_provenance(reference):
+            raise SystemExit(
+                "resumed manifest differs from the uninterrupted "
+                "reference:\n"
+                f"reference: {json.dumps(_strip_provenance(reference), sort_keys=True)}\n"
+                f"resumed:   {json.dumps(_strip_provenance(resumed), sort_keys=True)}"
+            )
+        run_ids = []
+        with open(checkpoint) as handle:
+            for line in handle:
+                if line.strip():
+                    run_ids.append(json.loads(line)["run_id"])
+        duplicates = sorted(
+            rid for rid in set(run_ids) if run_ids.count(rid) > 1
+        )
+        if duplicates:
+            raise SystemExit(
+                f"points executed more than once: {duplicates}"
+            )
+        audit = _python("audit", service_dir, "--strict")
+        sys.stdout.write(audit.stdout)
+        if audit.returncode != 0:
+            raise SystemExit(
+                f"strict audit failed after kill-restart:\n{audit.stderr}"
+            )
+        print("service smoke: OK (manifest bit-identical, "
+              f"{len(run_ids)} points exactly once, strict audit clean)")
+        return 0
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -71,6 +71,8 @@ import heapq
 import itertools
 import os
 import pickle
+import signal
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -113,6 +115,10 @@ from repro.trace.record import TraceRecord
 
 if TYPE_CHECKING:  # runtime import is lazy: repro.sim.sweep imports us back
     from repro.sim.results import SimulationResult
+
+#: Upper bound on how long the parallel driver blocks in ``wait`` before
+#: re-checking for a requested stop (signal or cross-thread).
+_STOP_POLL_INTERVAL = 0.5
 
 
 @dataclass(frozen=True)
@@ -408,6 +414,7 @@ class CampaignRunner:
         chaos: Optional[ChaosSpec] = None,
         max_worker_kills: int = 3,
         inline_fallback_after: Optional[int] = None,
+        handle_signals: bool = False,
     ) -> None:
         if workers < 1:
             raise ConfigError(
@@ -505,10 +512,36 @@ class CampaignRunner:
             if inline_fallback_after is not None
             else 2 * workers + 2
         )
+        #: Install SIGTERM/SIGINT handlers around :meth:`run` (main
+        #: thread only) that request a graceful stop instead of letting
+        #: the default disposition kill the process mid-append.
+        self.handle_signals = handle_signals
         self._sleep = sleep
         self._on_outcome = on_outcome
         self._progress = progress
         self._chaos_engine: Optional[ChaosEngine] = None
+        self._stop_requested = False
+
+    # -- graceful stop -------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Ask a running campaign to stop at the next safe boundary.
+
+        Safe to call from a signal handler or another thread.  The
+        serial driver stops before launching the next point (the
+        in-flight attempt finishes and is checkpointed); the parallel
+        driver stops launching and kills its outstanding workers
+        (their un-checkpointed points re-run on resume).  Either way
+        the runner flushes pending checkpoint appends and writes a
+        resumable manifest with status ``"interrupted"`` before
+        :meth:`run` returns — nothing recorded is lost, nothing torn.
+        """
+        self._stop_requested = True
+
+    @property
+    def stop_requested(self) -> bool:
+        """True once :meth:`request_stop` (or a handled signal) fired."""
+        return self._stop_requested
 
     # -- single-attempt execution -------------------------------------
 
@@ -703,6 +736,7 @@ class CampaignRunner:
 
     def run(self, specs: Sequence[RunSpec]) -> CampaignResult:
         """Execute a whole campaign; see the module docstring."""
+        self._stop_requested = False
         seen: Dict[str, RunSpec] = {}
         for spec in specs:
             if spec.run_id in seen:
@@ -729,6 +763,21 @@ class CampaignRunner:
         campaign = CampaignResult()
         if self._progress is not None:
             self._progress.begin(len(specs), workers=self.workers)
+        previous_handlers: List[Tuple[int, Any]] = []
+        if (
+            self.handle_signals
+            and threading.current_thread() is threading.main_thread()
+        ):
+            def _on_signal(signum: int, frame: Any) -> None:
+                self.request_stop()
+
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    previous_handlers.append(
+                        (signum, signal.signal(signum, _on_signal))
+                    )
+                except (OSError, ValueError):  # pragma: no cover
+                    continue
         try:
             if self.workers == 1:
                 status, pending_error = self._drive_serial(
@@ -747,6 +796,12 @@ class CampaignRunner:
             if self._progress is not None:
                 self._progress.finish("interrupted")
             raise
+        finally:
+            for signum, handler in previous_handlers:
+                try:
+                    signal.signal(signum, handler)
+                except (OSError, ValueError):  # pragma: no cover
+                    pass
         self._order_campaign(campaign, specs)
         if store is not None:
             campaign.manifest = self._try_write_manifest(
@@ -769,6 +824,8 @@ class CampaignRunner:
     ) -> "Tuple[str, Optional[ReproError]]":
         """The historical one-point-at-a-time schedule."""
         for spec in specs:
+            if self._stop_requested:
+                return "interrupted", None
             fingerprint = spec.fingerprint()
             entry = prior.get(spec.run_id)
             if entry is not None and entry.get("fingerprint") == fingerprint:
@@ -1124,6 +1181,13 @@ class _ParallelDriver:
         running: Dict[Any, Tuple[_PointState, _WorkerSlot, Optional[float]]] = {}
         try:
             while self.ready or self.waiting or running:
+                if runner._stop_requested:
+                    # Graceful stop: drop everything not yet terminal.
+                    # In-flight attempts are killed by the slot teardown
+                    # below; their points were never checkpointed, so a
+                    # resume re-runs exactly them and nothing else.
+                    self.status = "interrupted"
+                    break
                 now = time.monotonic()
                 while self.waiting and self.waiting[0][0] <= now:
                     self.ready.append(heapq.heappop(self.waiting)[2])
@@ -1363,7 +1427,10 @@ class _ParallelDriver:
         running: Dict[Any, Tuple[_PointState, _WorkerSlot, Optional[float]]],
     ) -> Optional[float]:
         """How long ``wait`` may block: to the nearest deadline or the
-        nearest retry-eligibility time, whichever comes first."""
+        nearest retry-eligibility time, whichever comes first — capped
+        at half a second so a cross-thread :meth:`CampaignRunner.request_stop`
+        (or a handled signal) is noticed promptly even when every
+        worker is deep in a long point."""
         marks = [
             deadline
             for _, _, deadline in running.values()
@@ -1372,5 +1439,5 @@ class _ParallelDriver:
         if self.waiting:
             marks.append(self.waiting[0][0])
         if not marks:
-            return None
-        return max(0.0, min(marks) - time.monotonic())
+            return _STOP_POLL_INTERVAL
+        return max(0.0, min(min(marks) - time.monotonic(), _STOP_POLL_INTERVAL))

@@ -1,0 +1,40 @@
+"""Crash-safe campaign service: durable queue, leases, HTTP front end.
+
+The package turns the single-process campaign runner into a long-lived
+server without weakening any of its durability guarantees:
+
+- :mod:`repro.service.jobstore` — the durable job queue (CRC32 JSONL
+  log, last-wins replay, back-pressure, poison budget).
+- :mod:`repro.service.lease` — revocable job ownership with generation
+  fencing (heartbeats, expiry, exactly-once completion).
+- :mod:`repro.service.http` — the asyncio HTTP server and scheduler.
+- :mod:`repro.service.client` — the stdlib client the CLI uses.
+"""
+
+from repro.service.http import CampaignService, build_campaign, normalize_spec
+from repro.service.jobstore import (
+    JOB_STATES,
+    JOBS_NAME,
+    RUNS_DIR,
+    TERMINAL_STATES,
+    JobRecord,
+    JobStore,
+    job_id_of,
+)
+from repro.service.lease import LEASES_DIR, Lease, LeaseManager
+
+__all__ = [
+    "CampaignService",
+    "build_campaign",
+    "normalize_spec",
+    "JobStore",
+    "JobRecord",
+    "job_id_of",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JOBS_NAME",
+    "RUNS_DIR",
+    "LEASES_DIR",
+    "Lease",
+    "LeaseManager",
+]

@@ -1,0 +1,62 @@
+"""Minimal stdlib HTTP client for the campaign service.
+
+Used by the ``submit`` and ``jobs`` CLI commands and the smoke tests.
+Deliberately tiny: one function that speaks JSON over
+``urllib.request`` and maps connection-level failures to
+:class:`~repro.errors.ServiceError` so the CLI's error taxonomy stays
+uniform.  HTTP *status* errors are not raised — the caller gets the
+status code and decides (a 429 with ``Retry-After`` is a protocol
+answer, not an exception).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ServiceError
+
+__all__ = ["request_json"]
+
+
+def request_json(
+    method: str,
+    url: str,
+    payload: Optional[Dict[str, Any]] = None,
+    timeout: float = 10.0,
+) -> Tuple[int, Dict[str, str], Any]:
+    """``(status, headers, body)`` for one JSON request.
+
+    ``body`` is the parsed JSON document when the response claims (or
+    parses as) JSON, else the raw text.  Raises
+    :class:`ServiceError` only when no HTTP response came back at all
+    (refused connection, DNS failure, timeout).
+    """
+    data = None
+    request = urllib.request.Request(url, method=method.upper())
+    if payload is not None:
+        data = json.dumps(payload).encode()
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(
+            request, data=data, timeout=timeout
+        ) as response:
+            status = response.status
+            headers = {k.lower(): v for k, v in response.headers.items()}
+            raw = response.read()
+    except urllib.error.HTTPError as error:
+        status = error.code
+        headers = {k.lower(): v for k, v in error.headers.items()}
+        raw = error.read()
+    except (urllib.error.URLError, OSError) as error:
+        raise ServiceError(
+            f"cannot reach campaign service at {url}: {error}"
+        )
+    text = raw.decode(errors="replace")
+    try:
+        body: Any = json.loads(text) if text else {}
+    except json.JSONDecodeError:
+        body = text
+    return status, headers, body

@@ -1,0 +1,731 @@
+"""The campaign service: asyncio HTTP front end over the job store.
+
+:class:`CampaignService` is the long-lived process the ROADMAP's
+"simulation-as-a-service" north star asks for: clients POST sweep
+specs, the service queues them durably (:mod:`repro.service.jobstore`),
+executes each as a standard campaign via
+:class:`~repro.runner.campaign.CampaignRunner`, and serves back live
+progress events, manifests, and HTML reports.  Everything is stdlib:
+the HTTP/1.1 server is a hand-rolled parser over
+``asyncio.start_server`` (no frameworks to install, nothing to vendor).
+
+Threading model — one rule: **all job-store and lease mutations happen
+on the event-loop thread.**  The scheduler coroutine claims jobs,
+reaps expired leases, and records completions; only the blocking
+``CampaignRunner.run`` call is pushed to a thread-pool executor.  The
+store therefore needs no locks, and every crash-recovery invariant is
+enforced in exactly one place.
+
+Crash-safety composition (each layer already proven separately):
+
+- A job's run directory *is* a campaign directory under
+  ``<service_dir>/runs/<job_id>/``, always executed with
+  ``resume=True`` — so a job that died mid-flight re-runs only its
+  unfinished points and reports bit-identical numbers (checkpoint
+  replay round-trips results exactly).
+- The job log replays on boot; the reaper re-enqueues ``running`` jobs
+  whose lease has expired (waiting out the TTL rather than trusting
+  pid liveness, which lies across reboots).
+- Graceful drain (SIGTERM/SIGINT): stop admitting (503), ask every
+  active runner to stop at its next safe boundary
+  (:meth:`~repro.runner.campaign.CampaignRunner.request_stop`), let
+  each write its resumable ``interrupted`` manifest, re-enqueue the
+  jobs, flush pending job-log appends, exit.  A restart picks the
+  queue back up with nothing lost and nothing torn.
+
+Back-pressure: a full admission queue is an HTTP 429 with a
+``Retry-After`` header; a draining server is a 503 with the same —
+clients get an honest signal instead of a hung socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import socket
+import uuid
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    BackPressureError,
+    ConfigError,
+    LeaseLostError,
+    ReproError,
+    error_kind,
+)
+from repro.service.jobstore import JobRecord, JobStore
+
+__all__ = ["CampaignService", "normalize_spec", "build_campaign"]
+
+#: Spec fields a submission may set, with their defaults (None = required
+#: or computed).  Unknown fields are rejected so a typo'd field name
+#: fails loudly instead of silently running the default sweep.
+_SPEC_FIELDS = (
+    "workload",
+    "machines",
+    "instructions",
+    "warmup",
+    "seed",
+    "workers",
+    "timeout",
+    "retries",
+    "snapshot_every",
+    "isolation",
+)
+
+
+def normalize_spec(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate a submission payload into the canonical job spec.
+
+    Canonicalization is what makes submission idempotent: two requests
+    that mean the same sweep normalize to the same dict, hash to the
+    same job_id, and land on the same job.  Raises
+    :class:`~repro.errors.ConfigError` on anything malformed.
+    """
+    from repro.cli import MACHINES
+    from repro.workloads.registry import workload_names
+
+    if not isinstance(payload, dict):
+        raise ConfigError("job spec must be a JSON object", field="job.spec")
+    unknown = sorted(set(payload) - set(_SPEC_FIELDS))
+    if unknown:
+        raise ConfigError(
+            f"unknown job spec field(s): {', '.join(unknown)}; "
+            f"known: {', '.join(_SPEC_FIELDS)}",
+            field="job.spec",
+        )
+    workload = payload.get("workload")
+    if not isinstance(workload, str) or workload not in workload_names():
+        raise ConfigError(
+            f"job spec needs a known workload, got {workload!r}; "
+            f"known: {', '.join(workload_names())}",
+            field="job.workload",
+        )
+    machines = payload.get("machines", "all")
+    if isinstance(machines, str):
+        names = (
+            sorted(MACHINES)
+            if machines == "all"
+            else [m.strip() for m in machines.split(",") if m.strip()]
+        )
+    elif isinstance(machines, list) and all(
+        isinstance(m, str) for m in machines
+    ):
+        names = list(machines)
+    else:
+        raise ConfigError(
+            f"job.machines must be 'all', a comma list, or a JSON list "
+            f"of names, got {machines!r}",
+            field="job.machines",
+        )
+    bad = sorted(set(names) - set(MACHINES))
+    if bad:
+        raise ConfigError(
+            f"unknown machine(s) {', '.join(bad)}; "
+            f"known: {', '.join(sorted(MACHINES))}",
+            field="job.machines",
+        )
+    if not names:
+        raise ConfigError("no machines selected", field="job.machines")
+
+    def _int(name: str, default: int, minimum: int) -> int:
+        value = payload.get(name, default)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ConfigError(
+                f"job.{name} must be an integer, got {value!r}",
+                field=f"job.{name}",
+            )
+        if value < minimum:
+            raise ConfigError(
+                f"job.{name} must be >= {minimum}, got {value}",
+                field=f"job.{name}",
+            )
+        return value
+
+    instructions = _int("instructions", 5000, 1)
+    warmup = _int("warmup", instructions // 3, 0)
+    if warmup >= instructions:
+        raise ConfigError(
+            f"job.warmup ({warmup}) must be < instructions "
+            f"({instructions})",
+            field="job.warmup",
+        )
+    timeout = payload.get("timeout")
+    if timeout is not None and (
+        isinstance(timeout, bool)
+        or not isinstance(timeout, (int, float))
+        or timeout <= 0
+    ):
+        raise ConfigError(
+            f"job.timeout must be a positive number or null, "
+            f"got {timeout!r}",
+            field="job.timeout",
+        )
+    snapshot_every = payload.get("snapshot_every")
+    if snapshot_every is not None:
+        if not isinstance(snapshot_every, int) or isinstance(
+            snapshot_every, bool
+        ) or snapshot_every < 1:
+            raise ConfigError(
+                f"job.snapshot_every must be a positive integer or "
+                f"null, got {snapshot_every!r}",
+                field="job.snapshot_every",
+            )
+    isolation = payload.get("isolation", "process")
+    if isolation not in ("process", "inline"):
+        raise ConfigError(
+            f"job.isolation must be 'process' or 'inline', "
+            f"got {isolation!r}",
+            field="job.isolation",
+        )
+    workers = _int("workers", 1, 1)
+    if isolation == "inline" and workers > 1:
+        raise ConfigError(
+            "job.workers > 1 requires process isolation",
+            field="job.workers",
+        )
+    if isolation == "inline" and timeout is not None:
+        raise ConfigError(
+            "job.timeout requires process isolation",
+            field="job.timeout",
+        )
+    return {
+        "workload": workload,
+        "machines": sorted(set(names)),
+        "instructions": instructions,
+        "warmup": warmup,
+        "seed": _int("seed", 1, 0),
+        "workers": workers,
+        "timeout": timeout,
+        "retries": _int("retries", 0, 0),
+        "snapshot_every": snapshot_every,
+        "isolation": isolation,
+    }
+
+
+def build_campaign(
+    spec: Dict[str, Any],
+) -> Tuple[List[Any], Dict[str, Any]]:
+    """Turn a normalized job spec into ``(run_specs, runner_kwargs)``.
+
+    The run_ids (``workload/machine``) match the ``sweep`` CLI exactly,
+    so a job's campaign directory is interchangeable with a hand-run
+    sweep's — same checkpoints, same manifest, same audit rules.
+    """
+    from repro.cli import MACHINES
+    from repro.runner import RunSpec, WorkloadSpec
+
+    specs = [
+        RunSpec(
+            run_id=f"{spec['workload']}/{machine}",
+            config=MACHINES[machine](),
+            trace=WorkloadSpec(spec["workload"], seed=spec["seed"]),
+            max_instructions=spec["instructions"],
+            warmup_instructions=spec["warmup"],
+        )
+        for machine in spec["machines"]
+    ]
+    runner_kwargs = {
+        "workers": spec["workers"],
+        "timeout": spec["timeout"],
+        "retries": spec["retries"],
+        "on_error": "skip",
+        "isolation": spec["isolation"],
+        "snapshot_every": spec["snapshot_every"],
+        "resume": True,
+    }
+    return specs, runner_kwargs
+
+
+class _ActiveJob:
+    """Book-keeping for one job currently executing in this process."""
+
+    __slots__ = (
+        "record", "lease", "task", "events", "lease_lost", "_request_stop"
+    )
+
+    def __init__(self, record: JobRecord, lease: Any) -> None:
+        self.record = record
+        self.lease = lease
+        self.task: Optional[asyncio.Task] = None
+        #: Progress events buffered for ``GET /jobs/<id>/events``.
+        self.events: List[Dict[str, Any]] = []
+        self.lease_lost = False
+        #: Set to the runner's ``request_stop`` once the job's runner
+        #: exists; the drain path calls it cross-thread.
+        self._request_stop: Optional[Callable[[], None]] = None
+
+
+class CampaignService:
+    """The crash-safe campaign server.  See the module docstring."""
+
+    def __init__(
+        self,
+        service_dir: str,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        job_workers: int = 1,
+        lease_ttl: float = 30.0,
+        renew_interval: Optional[float] = None,
+        max_queued: int = 16,
+        max_expiries: int = 3,
+        retry_after: float = 2.0,
+        poll_interval: float = 0.1,
+        chaos: Optional[Any] = None,
+    ) -> None:
+        from repro.runner.chaos import ChaosEngine
+
+        self.service_dir = service_dir
+        self.host = host
+        self.port = port
+        self.job_workers = max(1, job_workers)
+        self.lease_ttl = lease_ttl
+        self.renew_interval = (
+            renew_interval if renew_interval is not None else lease_ttl / 3.0
+        )
+        self.poll_interval = poll_interval
+        self.chaos = (
+            ChaosEngine(chaos)
+            if chaos is not None and not chaos.is_noop
+            else None
+        )
+        self.store = JobStore(
+            service_dir,
+            max_queued=max_queued,
+            max_expiries=max_expiries,
+            lease_ttl=lease_ttl,
+            retry_after=retry_after,
+            chaos=self.chaos,
+        )
+        #: Unique identity of this server incarnation; lease owner
+        #: strings embed it so a restarted server never confuses its
+        #: own leases with a predecessor's.
+        self.owner = (
+            f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:6]}"
+        )
+        self.draining = False
+        self._active: Dict[str, _ActiveJob] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._scheduler: Optional[asyncio.Task] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and start the scheduler loop."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        sock = self._server.sockets[0]
+        self.port = sock.getsockname()[1]
+        self._scheduler = asyncio.get_event_loop().create_task(
+            self._schedule_loop()
+        )
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop admitting, wind down, flush, close.
+
+        Active jobs are asked to stop at their next safe boundary;
+        their runners write resumable ``interrupted`` manifests, the
+        jobs go back to ``queued``, and a restarted server (or another
+        worker) resumes them from their checkpoints.
+        """
+        if self.draining:
+            return
+        self.draining = True
+        if self._scheduler is not None:
+            self._scheduler.cancel()
+            try:
+                await self._scheduler
+            except asyncio.CancelledError:
+                pass
+        for active in list(self._active.values()):
+            # request_stop was stashed on the active job when its
+            # runner was built; jobs that never got that far just
+            # finish naturally below.
+            stop = getattr(active, "_request_stop", None)
+            if callable(stop):
+                stop()
+        for active in list(self._active.values()):
+            if active.task is not None:
+                try:
+                    await active.task
+                except Exception:  # pragma: no cover - job task logs itself
+                    pass
+        self.store.flush_pending()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def run(
+        self, on_ready: Optional[Callable[["CampaignService"], None]] = None
+    ) -> None:
+        """Start, serve until SIGTERM/SIGINT, then drain and return."""
+        await self.start()
+        if on_ready is not None:
+            on_ready(self)
+        loop = asyncio.get_event_loop()
+        stop_event = asyncio.Event()
+        import signal as _signal
+
+        installed = []
+        for signum in (_signal.SIGINT, _signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop_event.set)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        try:
+            await stop_event.wait()
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+            await self.drain()
+
+    # -- scheduler -----------------------------------------------------
+
+    async def _schedule_loop(self) -> None:
+        """Claim work while capacity allows; reap lost leases."""
+        while True:
+            active_ids = frozenset(self._active)
+            self.store.reap(exclude=active_ids)
+            while not self.draining and len(self._active) < self.job_workers:
+                claimed = self.store.claim(self.owner)
+                if claimed is None:
+                    break
+                record, lease = claimed
+                active = _ActiveJob(record, lease)
+                self._active[record.job_id] = active
+                active.task = asyncio.get_event_loop().create_task(
+                    self._run_job(active)
+                )
+            await asyncio.sleep(self.poll_interval)
+
+    async def _run_job(self, active: _ActiveJob) -> None:
+        """Execute one claimed job; runs on the event loop, simulation
+        in the executor, heartbeats as a sibling task."""
+        from repro.obs.progress import CampaignProgress
+        from repro.runner.campaign import CampaignRunner
+
+        record = active.record
+        loop = asyncio.get_event_loop()
+        seq = [0]
+
+        def _emit(line: str) -> None:
+            seq[0] += 1
+            event = {
+                "seq": seq[0],
+                "job_id": record.job_id,
+                "line": line,
+            }
+            loop.call_soon_threadsafe(active.events.append, event)
+
+        manifest: Optional[Dict[str, Any]] = None
+        failure: Optional[BaseException] = None
+        runner: Optional[CampaignRunner] = None
+        heartbeat: Optional[asyncio.Task] = None
+        try:
+            try:
+                specs, runner_kwargs = build_campaign(record.spec)
+                runner = CampaignRunner(
+                    self.store.run_dir(record.job_id),
+                    progress=CampaignProgress(emit=_emit),
+                    **runner_kwargs,
+                )
+            except Exception as error:
+                # A spec that normalized at submission but cannot build
+                # a campaign anymore (machine registry drift, bad
+                # kwargs) is a terminal failure, never a requeue loop.
+                failure = error
+            else:
+                # Drain needs a handle on the runner's stop switch.
+                active._request_stop = runner.request_stop
+                heartbeat = loop.create_task(
+                    self._heartbeat_loop(active, runner)
+                )
+                try:
+                    await loop.run_in_executor(None, runner.run, specs)
+                except ReproError as error:
+                    failure = error
+                except Exception as error:  # pragma: no cover - defensive
+                    failure = error
+                manifest_path = os.path.join(
+                    self.store.run_dir(record.job_id), "manifest.json"
+                )
+                if os.path.exists(manifest_path):
+                    try:
+                        with open(manifest_path) as handle:
+                            manifest = json.load(handle)
+                    except (OSError, json.JSONDecodeError):
+                        manifest = None
+        finally:
+            if heartbeat is not None:
+                heartbeat.cancel()
+                try:
+                    await heartbeat
+                except asyncio.CancelledError:
+                    pass
+            self._finish_job(active, manifest, failure)
+            self._active.pop(record.job_id, None)
+
+    async def _heartbeat_loop(
+        self, active: _ActiveJob, runner: Any
+    ) -> None:
+        """Renew the job's lease every ``renew_interval`` seconds.
+
+        Chaos can drop a renewal (simulating a wedged worker: the lease
+        silently ages out) or steal the lease (simulating the expired-
+        lease race: another owner fenced us).  Both end the same way —
+        the job is abandoned locally, the reaper or the thief owns it.
+        """
+        record = active.record
+        while True:
+            await asyncio.sleep(self.renew_interval)
+            fault = (
+                self.chaos.lease_renewal_fault() if self.chaos else None
+            )
+            if fault == "drop":
+                active.lease_lost = True
+                runner.request_stop()
+                return
+            if fault == "steal":
+                self.store.leases.force_expire(active.lease)
+            try:
+                active.lease = await asyncio.get_event_loop().run_in_executor(
+                    None, self.store.heartbeat, record, active.lease
+                )
+            except LeaseLostError:
+                active.lease_lost = True
+                runner.request_stop()
+                return
+
+    def _finish_job(
+        self,
+        active: _ActiveJob,
+        manifest: Optional[Dict[str, Any]],
+        failure: Optional[BaseException],
+    ) -> None:
+        """Record the job's outcome in the store (event-loop thread)."""
+        record = active.record
+        if active.lease_lost:
+            # We were fenced out.  Say nothing: the lease's new owner
+            # (or the reaper, after TTL) decides the job's fate.  Our
+            # checkpointed points survive for whoever resumes.
+            return
+        status = (manifest or {}).get("status")
+        if failure is None and status == "complete":
+            summary = {
+                key: (manifest or {}).get(key)
+                for key in ("total_points", "ok", "failed", "poisoned")
+            }
+            try:
+                self.store.complete(
+                    record, active.lease, "done", summary=summary
+                )
+            except LeaseLostError:
+                pass
+            return
+        if failure is None and status in (None, "interrupted"):
+            # Drained or stopped before finishing: hand the job back.
+            self.store.requeue(record, active.lease)
+            return
+        error: Dict[str, Any] = {
+            "kind": error_kind(failure) if failure else "SimulationError",
+            "message": (
+                str(failure)
+                if failure
+                else f"campaign ended with status {status!r}"
+            ),
+        }
+        try:
+            self.store.complete(record, active.lease, "failed", error=error)
+        except LeaseLostError:
+            pass
+
+    # -- HTTP ----------------------------------------------------------
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            status, headers, body = await self._handle_request(reader)
+        except Exception:  # pragma: no cover - parse error on close
+            status, headers, body = 400, {}, b'{"error": "bad request"}\n'
+        reason = {
+            200: "OK", 201: "Created", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            429: "Too Many Requests", 503: "Service Unavailable",
+        }.get(status, "OK")
+        lines = [f"HTTP/1.1 {status} {reason}"]
+        headers.setdefault("Content-Type", "application/json")
+        headers["Content-Length"] = str(len(body))
+        headers["Connection"] = "close"
+        for name, value in headers.items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + body)
+        try:
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            return 400, {}, b'{"error": "empty request"}\n'
+        parts = request_line.split(" ")
+        if len(parts) != 3:
+            return 400, {}, b'{"error": "malformed request line"}\n'
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        body = await reader.readexactly(length) if length else b""
+        return self._route(method.upper(), target.split("?", 1)[0], body)
+
+    def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        if path == "/healthz" and method == "GET":
+            counts = self.store.counts()
+            return self._json(200, {
+                "status": "draining" if self.draining else "ok",
+                "owner": self.owner,
+                "active": sorted(self._active),
+                "jobs": counts,
+            })
+        if path == "/jobs" and method == "GET":
+            return self._json(
+                200, {"jobs": [r.public() for r in self.store.jobs()]}
+            )
+        if path == "/jobs" and method == "POST":
+            return self._submit(body)
+        if path.startswith("/jobs/"):
+            rest = path[len("/jobs/"):]
+            job_id, _, sub = rest.partition("/")
+            if method != "GET":
+                return self._json(405, {"error": "method not allowed"})
+            record = self.store.get(job_id)
+            if record is None:
+                return self._json(404, {"error": f"no job {job_id!r}"})
+            if not sub:
+                return self._json(200, record.public())
+            if sub == "events":
+                return self._events(job_id)
+            if sub == "manifest":
+                return self._manifest(record)
+            if sub == "report":
+                return self._report(record)
+            return self._json(404, {"error": f"no resource {sub!r}"})
+        return self._json(404, {"error": f"no route {path!r}"})
+
+    def _submit(
+        self, body: bytes
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        if self.draining:
+            return self._json(
+                503,
+                {"error": "service is draining; resubmit after restart"},
+                extra_headers={
+                    "Retry-After": f"{self.store.retry_after:g}"
+                },
+            )
+        try:
+            payload = json.loads(body.decode() or "{}")
+            spec = normalize_spec(payload)
+        except json.JSONDecodeError:
+            return self._json(400, {"error": "request body is not JSON"})
+        except ConfigError as error:
+            return self._json(400, {"error": str(error)})
+        try:
+            duplicated = (
+                self.chaos.duplicate_submission() if self.chaos else False
+            )
+            record, created = self.store.submit(spec)
+            if duplicated:
+                # Chaos: the client's retry arrives twice.  Idempotency
+                # must make the second submission a no-op.
+                dup, dup_created = self.store.submit(spec)
+                assert dup.job_id == record.job_id and not dup_created
+        except BackPressureError as error:
+            return self._json(
+                429,
+                {"error": str(error), "retry_after": error.retry_after},
+                extra_headers={"Retry-After": f"{error.retry_after:g}"},
+            )
+        return self._json(
+            201 if created else 200,
+            {"job": record.public(), "created": created},
+        )
+
+    def _events(self, job_id: str) -> Tuple[int, Dict[str, str], bytes]:
+        active = self._active.get(job_id)
+        events = active.events if active is not None else []
+        lines = "".join(
+            json.dumps(event, sort_keys=True) + "\n" for event in events
+        )
+        return (
+            200,
+            {"Content-Type": "application/x-ndjson"},
+            lines.encode(),
+        )
+
+    def _manifest(
+        self, record: JobRecord
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        path = os.path.join(
+            self.store.run_dir(record.job_id), "manifest.json"
+        )
+        try:
+            with open(path, "rb") as handle:
+                return 200, {}, handle.read()
+        except OSError:
+            return self._json(
+                404, {"error": f"job {record.job_id!r} has no manifest yet"}
+            )
+
+    def _report(
+        self, record: JobRecord
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        from repro.obs.report import campaign_report, markdown_to_html
+
+        run_dir = self.store.run_dir(record.job_id)
+        if not os.path.exists(os.path.join(run_dir, "manifest.json")):
+            return self._json(
+                404, {"error": f"job {record.job_id!r} has no report yet"}
+            )
+        markdown = campaign_report(run_dir)
+        html = markdown_to_html(
+            markdown, title=f"Job {record.job_id}"
+        )
+        return (
+            200,
+            {"Content-Type": "text/html; charset=utf-8"},
+            html.encode(),
+        )
+
+    @staticmethod
+    def _json(
+        status: int,
+        payload: Dict[str, Any],
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        headers = dict(extra_headers or {})
+        body = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        return status, headers, body.encode()

@@ -1,0 +1,434 @@
+"""Durable job queue: an append-only JSONL log with last-wins replay.
+
+The store reuses the campaign checkpoint's line format
+(:func:`~repro.runner.checkpoint.encode_entry` — per-line CRC32,
+canonical JSON) for a different key: every state transition of every
+job is appended to ``<service_dir>/jobs.jsonl`` as a ``job_id``-keyed
+entry, and the current state of the world is the last valid entry per
+``job_id``.  That one decision buys the whole crash-safety story:
+
+- **Submission is durable** the moment the ``queued`` entry hits disk
+  (appends fsync; a failed append queues in memory for
+  :meth:`JobStore.flush_pending`, mirroring the checkpoint store).
+- **Restart is replay**: a rebooted server reads the log and knows
+  every job's last recorded state.  Jobs recorded ``running`` whose
+  lease has expired are re-enqueued by :meth:`reap` — the crashed
+  incarnation's work is not lost, because each job's *point-level*
+  progress lives in its own campaign checkpoint under
+  ``<service_dir>/runs/<job_id>/`` and re-execution resumes from it.
+- **Torn writes are confined**: a SIGKILL mid-append leaves a fragment
+  that fails CRC and is skipped; the next append heals the missing
+  newline, and the superseded state is simply re-derived.
+
+Idempotent submission falls out of content-addressing:
+:func:`job_id_of` hashes the canonical spec JSON, so re-POSTing the
+same sweep returns the existing job instead of a duplicate.  Exactly
+once is enforced at completion: :meth:`JobStore.complete` releases the
+lease *before* appending the terminal entry and refuses (raises
+:class:`~repro.errors.LeaseLostError`) if the lease was lost — a
+fenced-out zombie can never write ``done``.
+
+Back-pressure is the admission-side bound: ``queued`` jobs above
+``max_queued`` raise :class:`~repro.errors.BackPressureError`, which
+the HTTP layer maps to ``429`` + ``Retry-After``.  The repeated-expiry
+budget is the execution-side bound: a job whose lease expires
+``max_expiries`` times is declared ``poisoned`` (same terminal state
+and error taxonomy as a campaign point that keeps killing its worker)
+instead of being re-enqueued forever.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.errors import BackPressureError, LeaseLostError, ServiceError
+from repro.runner.checkpoint import encode_entry, iter_checkpoint_lines
+from repro.service.lease import LEASES_DIR, Lease, LeaseManager
+
+__all__ = [
+    "JOBS_NAME",
+    "RUNS_DIR",
+    "JOB_STATES",
+    "JobRecord",
+    "JobStore",
+    "job_id_of",
+]
+
+JOBS_NAME = "jobs.jsonl"
+RUNS_DIR = "runs"
+
+#: Every state a job can be in.  ``queued`` and ``running`` are
+#: transient; the terminal trio deliberately matches the campaign
+#: checkpoint's vocabulary (``ok`` maps to ``done`` because a job is a
+#: whole campaign, not one point).
+JOB_STATES = ("queued", "running", "done", "failed", "poisoned")
+TERMINAL_STATES = ("done", "failed", "poisoned")
+
+
+def job_id_of(spec: Dict[str, Any]) -> str:
+    """Content address of a normalized job spec (idempotency key)."""
+    canonical = json.dumps(spec, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+@dataclass
+class JobRecord:
+    """The current state of one job, as replayed from the log."""
+
+    job_id: str
+    state: str
+    spec: Dict[str, Any]
+    submitted_at: float
+    updated_at: float
+    #: How many times a worker has claimed (or re-claimed) the job.
+    claims: int = 0
+    #: How many times the job's lease expired under a worker — the
+    #: poison budget's counter.
+    expiries: int = 0
+    #: Owner string of the worker currently running the job, if any.
+    owner: Optional[str] = None
+    error: Optional[Dict[str, Any]] = None
+    summary: Optional[Dict[str, Any]] = None
+
+    def to_entry(self) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "state": self.state,
+            "spec": self.spec,
+            "submitted_at": self.submitted_at,
+            "updated_at": self.updated_at,
+            "claims": self.claims,
+            "expiries": self.expiries,
+        }
+        if self.owner is not None:
+            entry["owner"] = self.owner
+        if self.error is not None:
+            entry["error"] = self.error
+        if self.summary is not None:
+            entry["summary"] = self.summary
+        return entry
+
+    @classmethod
+    def from_entry(cls, entry: Dict[str, Any]) -> "JobRecord":
+        return cls(
+            job_id=entry["job_id"],
+            state=entry.get("state", "queued"),
+            spec=entry.get("spec", {}),
+            submitted_at=entry.get("submitted_at", 0.0),
+            updated_at=entry.get("updated_at", 0.0),
+            claims=entry.get("claims", 0),
+            expiries=entry.get("expiries", 0),
+            owner=entry.get("owner"),
+            error=entry.get("error"),
+            summary=entry.get("summary"),
+        )
+
+    def public(self) -> Dict[str, Any]:
+        """The wire shape served to HTTP clients."""
+        payload = self.to_entry()
+        payload["terminal"] = self.state in TERMINAL_STATES
+        return payload
+
+
+class JobStore:
+    """The service's durable source of truth for job state.
+
+    Single-writer by design: all mutations happen on the service's
+    scheduler thread (the event loop), so the in-memory ``_records``
+    map and the on-disk log cannot diverge under concurrency.  The log
+    is the recovery mechanism, not a coordination mechanism.
+    """
+
+    def __init__(
+        self,
+        service_dir: str,
+        *,
+        max_queued: int = 16,
+        max_expiries: int = 3,
+        lease_ttl: float = 30.0,
+        retry_after: float = 2.0,
+        chaos: Optional[Any] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if max_queued < 1:
+            raise ServiceError(
+                f"JobStore.max_queued: must be >= 1, got {max_queued}"
+            )
+        if max_expiries < 1:
+            raise ServiceError(
+                f"JobStore.max_expiries: must be >= 1, got {max_expiries}"
+            )
+        if lease_ttl <= 0:
+            raise ServiceError(
+                f"JobStore.lease_ttl: must be > 0, got {lease_ttl}"
+            )
+        self.service_dir = service_dir
+        os.makedirs(service_dir, exist_ok=True)
+        os.makedirs(os.path.join(service_dir, RUNS_DIR), exist_ok=True)
+        self.jobs_path = os.path.join(service_dir, JOBS_NAME)
+        self.max_queued = max_queued
+        self.max_expiries = max_expiries
+        self.retry_after = retry_after
+        self.chaos = chaos
+        self._clock = clock
+        self.leases = LeaseManager(
+            os.path.join(service_dir, LEASES_DIR), ttl=lease_ttl, clock=clock
+        )
+        #: job_id -> current record (replayed once, then kept in step).
+        self._records: Dict[str, JobRecord] = {}
+        #: Entries whose append failed, awaiting :meth:`flush_pending`.
+        self._pending: List[Dict[str, Any]] = []
+        self.append_failures = 0
+        self._replay()
+
+    # -- durability ----------------------------------------------------
+
+    def _replay(self) -> None:
+        for __, __, entry, problem in iter_checkpoint_lines(
+            self.jobs_path, key="job_id"
+        ):
+            if problem is None and entry is not None:
+                self._records[entry["job_id"]] = JobRecord.from_entry(entry)
+
+    def _append(self, record: JobRecord) -> bool:
+        """Durably log ``record``'s current state; mirror of
+        :meth:`~repro.runner.checkpoint.CheckpointStore.append`."""
+        entry = record.to_entry()
+        line = encode_entry(entry) + "\n"
+        fault = self.chaos.job_append_fault() if self.chaos else None
+        try:
+            if fault == "enospc":
+                raise OSError(errno.ENOSPC, "injected: no space left")
+            with open(self.jobs_path, "a+b") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() > 0:
+                    handle.seek(-1, os.SEEK_END)
+                    if handle.read(1) != b"\n":
+                        handle.write(b"\n")
+                if fault == "torn":
+                    handle.write(line.encode()[: max(1, len(line) // 2)])
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    raise OSError(errno.EIO, "injected: torn write")
+                handle.write(line.encode())
+                handle.flush()
+                os.fsync(handle.fileno())
+            return True
+        except OSError:
+            self.append_failures += 1
+            self._pending.append(entry)
+            return False
+
+    def flush_pending(self) -> int:
+        """Retry failed appends; how many are still stuck.
+
+        The in-memory record is always current, so a re-append of a
+        stale queued entry is harmless: the *current* state was
+        appended after it and last-wins replay keeps the right one.
+        To preserve that ordering the retry re-encodes the *current*
+        record for each pending job_id rather than the stale entry.
+        """
+        still = list(self._pending)
+        self._pending = []
+        flushed_ids = []
+        for entry in still:
+            job_id = entry.get("job_id")
+            if job_id in flushed_ids:
+                continue
+            flushed_ids.append(job_id)
+            record = self._records.get(job_id)
+            if record is not None:
+                self._append(record)
+        return len(self._pending)
+
+    # -- queries -------------------------------------------------------
+
+    def jobs(self) -> List[JobRecord]:
+        """All records, oldest submission first (stable order)."""
+        return sorted(
+            self._records.values(),
+            key=lambda r: (r.submitted_at, r.job_id),
+        )
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        return self._records.get(job_id)
+
+    def counts(self) -> Dict[str, int]:
+        tally = {state: 0 for state in JOB_STATES}
+        for record in self._records.values():
+            tally[record.state] = tally.get(record.state, 0) + 1
+        return tally
+
+    def run_dir(self, job_id: str) -> str:
+        """The job's campaign directory (checkpoint + manifest live here)."""
+        return os.path.join(self.service_dir, RUNS_DIR, job_id)
+
+    # -- transitions ---------------------------------------------------
+
+    def submit(self, spec: Dict[str, Any]) -> Tuple[JobRecord, bool]:
+        """Admit a normalized spec; ``(record, created)``.
+
+        Idempotent: an identical spec returns its existing job with
+        ``created=False``, whatever state that job is in.  A full
+        admission queue raises :class:`BackPressureError` — bounded
+        queues fail loudly at the edge instead of slowly everywhere.
+        """
+        job_id = job_id_of(spec)
+        existing = self._records.get(job_id)
+        if existing is not None:
+            return existing, False
+        queued = sum(
+            1 for r in self._records.values() if r.state == "queued"
+        )
+        if queued >= self.max_queued:
+            raise BackPressureError(
+                f"admission queue full ({queued}/{self.max_queued} "
+                f"jobs queued); retry after {self.retry_after:g}s",
+                retry_after=self.retry_after,
+            )
+        now = self._clock()
+        record = JobRecord(
+            job_id=job_id,
+            state="queued",
+            spec=spec,
+            submitted_at=now,
+            updated_at=now,
+        )
+        self._records[job_id] = record
+        self._append(record)
+        return record, True
+
+    def claim(self, owner: str) -> Optional[Tuple[JobRecord, Lease]]:
+        """Hand the oldest queued job to ``owner`` under a fresh lease."""
+        for record in self.jobs():
+            if record.state != "queued":
+                continue
+            lease = self.leases.acquire(record.job_id, owner)
+            if lease is None:
+                continue
+            record.state = "running"
+            record.owner = owner
+            record.claims += 1
+            record.updated_at = self._clock()
+            self._append(record)
+            return record, lease
+        return None
+
+    def heartbeat(self, record: JobRecord, lease: Lease) -> Lease:
+        """Renew the worker's lease; raises :class:`LeaseLostError`."""
+        return self.leases.renew(lease)
+
+    def complete(
+        self,
+        record: JobRecord,
+        lease: Lease,
+        state: str,
+        summary: Optional[Dict[str, Any]] = None,
+        error: Optional[Dict[str, Any]] = None,
+    ) -> JobRecord:
+        """Record a terminal state — release-then-append fencing.
+
+        The lease release is the linearization point: it verifies owner
+        and generation against the persisted lease, so of all the
+        workers that ever held this job, exactly one can get past it.
+        Only then is the terminal entry appended.  A worker that lost
+        its lease gets :class:`LeaseLostError` and must walk away.
+        """
+        if state not in TERMINAL_STATES:
+            raise ServiceError(
+                f"JobStore.complete: {state!r} is not terminal "
+                f"(expected one of {TERMINAL_STATES})"
+            )
+        if not self.leases.release(lease):
+            raise LeaseLostError(
+                f"lease on job {record.job_id!r} no longer held by "
+                f"{lease.owner!r}; refusing to record {state!r}"
+            )
+        record.state = state
+        record.owner = None
+        record.error = error
+        record.summary = summary
+        record.updated_at = self._clock()
+        self._append(record)
+        return record
+
+    def requeue(
+        self, record: JobRecord, lease: Optional[Lease] = None
+    ) -> JobRecord:
+        """Put a running job back in the queue (graceful drain path)."""
+        if lease is not None:
+            self.leases.release(lease)
+        record.state = "queued"
+        record.owner = None
+        record.updated_at = self._clock()
+        self._append(record)
+        return record
+
+    def reap(self, exclude: FrozenSet[str] = frozenset()) -> List[JobRecord]:
+        """Recover jobs whose worker stopped heartbeating.
+
+        A job recorded ``running`` whose lease is missing or expired
+        lost its worker (crash, SIGKILL, wedge past TTL).  Its expiry
+        budget is charged; within budget it is re-enqueued (the next
+        claim resumes the job's campaign checkpoint — no repeated
+        work), over budget it is ``poisoned`` exactly like a campaign
+        point that keeps taking its worker down.
+
+        ``exclude`` lists job_ids still actively executing *in this
+        process*: a locally running job whose lease was stolen or
+        force-expired is left to its own runner to notice (via
+        heartbeat failure) rather than re-enqueued while its old run
+        still mutates the run directory.  Returns the records touched.
+        """
+        now = self._clock()
+        touched: List[JobRecord] = []
+        for record in self.jobs():
+            if record.state != "running" or record.job_id in exclude:
+                continue
+            lease = self.leases.load(record.job_id)
+            if lease is not None and not lease.expired(now):
+                continue
+            record.expiries += 1
+            if lease is not None:
+                try:
+                    os.remove(
+                        os.path.join(
+                            self.leases.lease_dir,
+                            f"{record.job_id}.lease",
+                        )
+                    )
+                except OSError:
+                    pass
+            if record.expiries >= self.max_expiries:
+                record.state = "poisoned"
+                record.owner = None
+                record.error = {
+                    "kind": "WorkerPoisonedError",
+                    "message": (
+                        f"job lease expired {record.expiries} times "
+                        f"(budget {self.max_expiries}); giving up"
+                    ),
+                }
+                record.updated_at = now
+                self._append(record)
+            else:
+                record.state = "queued"
+                record.owner = None
+                record.updated_at = now
+                self._append(record)
+            touched.append(record)
+        return touched

@@ -1,0 +1,210 @@
+"""Lease-based job ownership with generation fencing.
+
+A lease is the service's unit of *exclusive, revocable* ownership: a
+worker that claims a job holds a lease on it and must renew (heartbeat)
+the lease before its TTL runs out.  A worker that crashes, wedges, or
+gets paused past the TTL simply stops renewing — no cleanup required —
+and the reaper observes the expiry and re-enqueues the job.
+
+The subtle failure this module exists for is the *zombie worker*: a
+worker that was presumed dead (lease expired, job re-enqueued, maybe
+re-claimed by someone else) but then wakes up and tries to record a
+completion.  Each acquisition increments a monotonically increasing
+**generation** number persisted in the lease file; renewal and release
+verify both the owner string and the generation, so the zombie's next
+heartbeat raises :class:`~repro.errors.LeaseLostError` and it abandons
+the job without writing anything.  The job store orders *release before
+terminal append* so a completion record can only ever be written by the
+owner the lease file still names — the exactly-once half of the
+service's crash-safety story (durable replay is the other half).
+
+Lease files live under ``<service_dir>/leases/<job_id>.lease`` as small
+JSON documents written atomically (temp file + ``os.replace``), so a
+kill mid-renewal leaves the previous valid lease in place rather than a
+torn file.  Time is injectable (``clock``) and the files store absolute
+wall-clock timestamps, so expiry survives a full service restart — a
+rebooted server waits out the TTL of leases left behind by its previous
+incarnation instead of trusting process liveness checks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import LeaseLostError
+from repro.ioutil import atomic_write_json
+
+__all__ = ["Lease", "LeaseManager", "LEASES_DIR"]
+
+LEASES_DIR = "leases"
+LEASE_SUFFIX = ".lease"
+
+
+@dataclasses.dataclass(frozen=True)
+class Lease:
+    """One worker's revocable claim on one job (immutable snapshot)."""
+
+    job_id: str
+    owner: str
+    #: Fencing token: bumped on every acquisition, verified on every
+    #: renewal/release, so a stale holder can never act on the job.
+    generation: int
+    acquired_at: float
+    renewed_at: float
+    ttl: float
+
+    @property
+    def expires_at(self) -> float:
+        return self.renewed_at + self.ttl
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Lease":
+        known = {field.name for field in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+class LeaseManager:
+    """Acquire/renew/release leases persisted under ``lease_dir``.
+
+    The manager is deliberately storage-dumb: one atomic JSON file per
+    job, no locking beyond atomic replace.  The service runs a single
+    scheduler thread, so the files never race locally; the fencing
+    generation is what protects against *temporal* races (a holder
+    acting after expiry), which no file lock can.
+    """
+
+    def __init__(
+        self,
+        lease_dir: str,
+        ttl: float,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.lease_dir = lease_dir
+        self.ttl = ttl
+        self._clock = clock
+        os.makedirs(lease_dir, exist_ok=True)
+
+    def _path(self, job_id: str) -> str:
+        return os.path.join(self.lease_dir, f"{job_id}{LEASE_SUFFIX}")
+
+    def load(self, job_id: str) -> Optional[Lease]:
+        """The persisted lease for ``job_id``, or None (missing/unreadable).
+
+        An unreadable lease file (torn by a crash before atomic writes
+        existed, or hand-edited) is treated as absent: the job is
+        claimable, and the auditor flags the file.
+        """
+        path = self._path(job_id)
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+            if not isinstance(data, dict):
+                return None
+            return Lease.from_dict(data)
+        except (OSError, json.JSONDecodeError, TypeError):
+            return None
+
+    def acquire(self, job_id: str, owner: str) -> Optional[Lease]:
+        """Claim ``job_id`` for ``owner``; None when live-held by another.
+
+        Succeeds over a missing, expired, or unreadable lease; the new
+        lease's generation strictly exceeds any previously persisted
+        one, fencing out the previous holder.
+        """
+        now = self._clock()
+        previous = self.load(job_id)
+        if (
+            previous is not None
+            and not previous.expired(now)
+            and previous.owner != owner
+        ):
+            return None
+        generation = (previous.generation + 1) if previous is not None else 1
+        lease = Lease(
+            job_id=job_id,
+            owner=owner,
+            generation=generation,
+            acquired_at=now,
+            renewed_at=now,
+            ttl=self.ttl,
+        )
+        atomic_write_json(self._path(job_id), lease.to_dict())
+        return lease
+
+    def renew(self, lease: Lease) -> Lease:
+        """Heartbeat: push the lease's expiry out by one TTL.
+
+        Raises :class:`LeaseLostError` when the persisted lease is
+        missing, names a different owner or generation (someone fenced
+        us out), or has already expired (renewing a corpse would
+        silently un-expire it under the reaper).
+        """
+        current = self.load(lease.job_id)
+        if current is None:
+            raise LeaseLostError(
+                f"lease on job {lease.job_id!r} vanished "
+                f"(held by {lease.owner!r})"
+            )
+        if (
+            current.owner != lease.owner
+            or current.generation != lease.generation
+        ):
+            raise LeaseLostError(
+                f"lease on job {lease.job_id!r} was taken over by "
+                f"{current.owner!r} (generation {current.generation} "
+                f"> {lease.generation})"
+            )
+        now = self._clock()
+        if current.expired(now):
+            raise LeaseLostError(
+                f"lease on job {lease.job_id!r} expired "
+                f"{now - current.expires_at:.1f}s ago; "
+                f"holder {lease.owner!r} must abandon the job"
+            )
+        renewed = dataclasses.replace(current, renewed_at=now)
+        atomic_write_json(self._path(lease.job_id), renewed.to_dict())
+        return renewed
+
+    def release(self, lease: Lease) -> bool:
+        """Drop the lease; True when we still owned it.
+
+        False means the caller was already fenced out — it must not
+        record any terminal state for the job.
+        """
+        current = self.load(lease.job_id)
+        if (
+            current is None
+            or current.owner != lease.owner
+            or current.generation != lease.generation
+        ):
+            return False
+        try:
+            os.remove(self._path(lease.job_id))
+        except OSError:
+            return False
+        return True
+
+    def force_expire(self, lease: Lease) -> None:
+        """Rewrite the lease as already expired (chaos / admin tooling).
+
+        Simulates the holder having silently stopped renewing long ago:
+        the next ``renew`` from the old holder raises, and ``acquire``
+        by anyone succeeds.
+        """
+        current = self.load(lease.job_id)
+        if current is None:
+            return
+        expired = dataclasses.replace(
+            current, renewed_at=self._clock() - current.ttl - 1.0
+        )
+        atomic_write_json(self._path(lease.job_id), expired.to_dict())

@@ -1,0 +1,266 @@
+"""The durable job queue: idempotency, replay, back-pressure, reaping.
+
+Every test that "crashes" a worker or a server does so by construction
+— dropping a lease handle, rebuilding a :class:`JobStore` over the same
+directory — because that is exactly what a real crash leaves behind:
+files, and nothing else.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import (
+    BackPressureError,
+    LeaseLostError,
+    ServiceError,
+)
+from repro.runner.chaos import ChaosEngine, ChaosSpec
+from repro.service import JOBS_NAME, JobStore, job_id_of, normalize_spec
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def spec_of(workload="health", **overrides):
+    payload = {"workload": workload, "machines": "base"}
+    payload.update(overrides)
+    return normalize_spec(payload)
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def store(tmp_path, clock):
+    return JobStore(
+        str(tmp_path / "svc"), max_queued=4, max_expiries=2,
+        lease_ttl=30.0, clock=clock,
+    )
+
+
+class TestSubmit:
+    def test_submission_is_durable_and_idempotent(self, store, clock):
+        record, created = store.submit(spec_of())
+        assert created and record.state == "queued"
+        again, created_again = store.submit(spec_of())
+        assert not created_again
+        assert again.job_id == record.job_id
+
+    def test_job_id_is_content_addressed(self):
+        assert job_id_of(spec_of()) == job_id_of(spec_of())
+        assert job_id_of(spec_of()) != job_id_of(spec_of(seed=2))
+
+    def test_replay_after_restart(self, store, tmp_path, clock):
+        record, _ = store.submit(spec_of())
+        reborn = JobStore(str(tmp_path / "svc"), clock=clock)
+        assert reborn.get(record.job_id).state == "queued"
+        # Resubmission to the reborn store still deduplicates.
+        _, created = reborn.submit(spec_of())
+        assert not created
+
+    def test_full_queue_raises_back_pressure(self, tmp_path, clock):
+        store = JobStore(
+            str(tmp_path / "small"), max_queued=1, retry_after=7.0,
+            clock=clock,
+        )
+        store.submit(spec_of("health"))
+        with pytest.raises(BackPressureError) as excinfo:
+            store.submit(spec_of("burg"))
+        assert excinfo.value.retry_after == 7.0
+
+    def test_terminal_jobs_do_not_occupy_the_queue(self, tmp_path, clock):
+        store = JobStore(str(tmp_path / "small"), max_queued=1, clock=clock)
+        store.submit(spec_of("health"))
+        record, lease = store.claim("w1")
+        store.complete(record, lease, "done", summary={"ok": 1})
+        store.submit(spec_of("burg"))  # must not raise
+
+    def test_resubmitting_a_done_job_returns_it(self, store):
+        record, _ = store.submit(spec_of())
+        rec, lease = store.claim("w1")
+        store.complete(rec, lease, "done", summary={"ok": 1})
+        again, created = store.submit(spec_of())
+        assert not created and again.state == "done"
+
+
+class TestClaimAndComplete:
+    def test_claim_oldest_queued_first(self, store, clock):
+        first, _ = store.submit(spec_of("health"))
+        clock.advance(1.0)
+        store.submit(spec_of("burg"))
+        record, lease = store.claim("w1")
+        assert record.job_id == first.job_id
+        assert record.state == "running" and record.claims == 1
+        assert lease.owner == "w1"
+
+    def test_claim_returns_none_when_queue_is_empty(self, store):
+        assert store.claim("w1") is None
+
+    def test_complete_records_summary(self, store, clock):
+        store.submit(spec_of())
+        record, lease = store.claim("w1")
+        done = store.complete(
+            record, lease, "done", summary={"ok": 1, "failed": 0}
+        )
+        assert done.state == "done"
+        assert done.owner is None
+        assert store.leases.load(record.job_id) is None
+
+    def test_complete_refuses_non_terminal_states(self, store):
+        store.submit(spec_of())
+        record, lease = store.claim("w1")
+        with pytest.raises(ServiceError):
+            store.complete(record, lease, "running")
+
+    def test_zombie_completion_is_fenced_out(self, store, clock):
+        """The exactly-once property, in miniature: the lease expires
+        under a worker, the job is re-claimed and finished by another,
+        and the zombie's completion raises instead of double-writing."""
+        store.submit(spec_of())
+        record, stale_lease = store.claim("w1")
+        clock.advance(31.0)
+        store.reap()
+        record2, lease2 = store.claim("w2")
+        store.complete(record2, lease2, "done", summary={"ok": 1})
+        with pytest.raises(LeaseLostError):
+            store.complete(record, stale_lease, "done", summary={"ok": 1})
+        assert store.get(record.job_id).state == "done"
+
+    def test_requeue_releases_and_requeues(self, store):
+        store.submit(spec_of())
+        record, lease = store.claim("w1")
+        store.requeue(record, lease)
+        assert record.state == "queued" and record.owner is None
+        assert store.leases.load(record.job_id) is None
+        # The job is claimable again immediately (graceful drain path).
+        assert store.claim("w2") is not None
+
+
+class TestReap:
+    def test_expired_lease_requeues_within_budget(self, store, clock):
+        store.submit(spec_of())
+        record, _ = store.claim("w1")
+        clock.advance(31.0)
+        touched = store.reap()
+        assert [r.job_id for r in touched] == [record.job_id]
+        assert record.state == "queued" and record.expiries == 1
+
+    def test_live_lease_is_left_alone(self, store, clock):
+        store.submit(spec_of())
+        record, _ = store.claim("w1")
+        clock.advance(10.0)
+        assert store.reap() == []
+        assert record.state == "running"
+
+    def test_excluded_jobs_are_left_alone(self, store, clock):
+        store.submit(spec_of())
+        record, _ = store.claim("w1")
+        clock.advance(31.0)
+        assert store.reap(exclude=frozenset([record.job_id])) == []
+        assert record.state == "running"
+
+    def test_expiry_budget_poisons_the_job(self, store, clock):
+        store.submit(spec_of())
+        for expiry in range(2):  # max_expiries=2
+            record, _ = store.claim(f"w{expiry}")
+            clock.advance(31.0)
+            store.reap()
+        assert record.state == "poisoned"
+        assert record.error["kind"] == "WorkerPoisonedError"
+        # Poisoned is terminal: nothing left to claim.
+        assert store.claim("w9") is None
+
+    def test_running_job_with_no_lease_file_is_reaped(self, store, clock):
+        store.submit(spec_of())
+        record, lease = store.claim("w1")
+        os.remove(
+            os.path.join(store.leases.lease_dir, f"{record.job_id}.lease")
+        )
+        assert store.reap() != []
+        assert record.state == "queued"
+
+    def test_crashed_server_recovers_after_ttl(self, tmp_path, clock):
+        """Boot-time recovery: a job recorded running by a dead server
+        is re-enqueued once its lease ages out — not before."""
+        store = JobStore(str(tmp_path / "svc"), lease_ttl=30.0, clock=clock)
+        store.submit(spec_of())
+        store.claim("dead-server")
+        # "Crash": a brand-new store over the same files.
+        reborn = JobStore(str(tmp_path / "svc"), lease_ttl=30.0, clock=clock)
+        record = reborn.jobs()[0]
+        assert record.state == "running"
+        assert reborn.reap() == []  # lease not expired yet: wait
+        clock.advance(31.0)
+        assert reborn.reap() != []
+        assert reborn.jobs()[0].state == "queued"
+
+
+class TestDurabilityUnderChaos:
+    def test_enospc_append_is_flushed_without_residue(self, tmp_path, clock):
+        chaos = ChaosEngine(ChaosSpec(enospc_job_appends=(0,)))
+        store = JobStore(str(tmp_path / "svc"), chaos=chaos, clock=clock)
+        record, _ = store.submit(spec_of())
+        assert store.append_failures == 1
+        assert store.flush_pending() == 0
+        # The reborn store replays the flushed entry.
+        reborn = JobStore(str(tmp_path / "svc"), clock=clock)
+        assert reborn.get(record.job_id).state == "queued"
+        assert chaos.counters["job_enospc"] == 1
+
+    def test_torn_append_is_confined_and_healed(self, tmp_path, clock):
+        chaos = ChaosEngine(ChaosSpec(torn_job_appends=(0,)))
+        store = JobStore(str(tmp_path / "svc"), chaos=chaos, clock=clock)
+        record, _ = store.submit(spec_of())
+        store.flush_pending()
+        store.submit(spec_of("burg"))
+        reborn = JobStore(str(tmp_path / "svc"), clock=clock)
+        assert reborn.get(record.job_id).state == "queued"
+        assert len(reborn.jobs()) == 2
+        # The torn fragment is still in the file, on its own line,
+        # where replay skips it and the auditor can see it.
+        with open(os.path.join(str(tmp_path / "svc"), JOBS_NAME)) as handle:
+            lines = [line for line in handle.read().splitlines() if line]
+        parsed = 0
+        for line in lines:
+            try:
+                json.loads(line)
+                parsed += 1
+            except json.JSONDecodeError:
+                pass
+        assert parsed == len(lines) - 1
+        assert chaos.counters["job_torn"] == 1
+
+    def test_flush_retries_the_current_state_not_the_stale_one(
+        self, tmp_path, clock
+    ):
+        """An entry that failed as 'queued' must not resurrect 'queued'
+        after the job has already moved on to 'running'."""
+        chaos = ChaosEngine(ChaosSpec(enospc_job_appends=(0,)))
+        store = JobStore(str(tmp_path / "svc"), chaos=chaos, clock=clock)
+        record, _ = store.submit(spec_of())  # this append fails
+        store.claim("w1")  # this one lands: state=running
+        store.flush_pending()
+        reborn = JobStore(str(tmp_path / "svc"), clock=clock)
+        assert reborn.get(record.job_id).state == "running"
+
+
+class TestValidation:
+    def test_rejects_bad_bounds(self, tmp_path):
+        with pytest.raises(ServiceError):
+            JobStore(str(tmp_path / "a"), max_queued=0)
+        with pytest.raises(ServiceError):
+            JobStore(str(tmp_path / "b"), max_expiries=0)
+        with pytest.raises(ServiceError):
+            JobStore(str(tmp_path / "c"), lease_ttl=0.0)

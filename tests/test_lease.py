@@ -1,0 +1,161 @@
+"""Lease ownership semantics: acquisition, renewal, fencing, expiry.
+
+Time is injected everywhere, so every race the lease protocol exists
+to win — the zombie holder, the expired-then-reclaimed job, the
+takeover mid-heartbeat — is reproduced deterministically, no sleeps.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import LeaseLostError
+from repro.service.lease import Lease, LeaseManager
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def manager(tmp_path, clock):
+    return LeaseManager(str(tmp_path / "leases"), ttl=30.0, clock=clock)
+
+
+class TestAcquire:
+    def test_fresh_acquisition_starts_at_generation_one(self, manager):
+        lease = manager.acquire("job-a", "worker-1")
+        assert lease is not None
+        assert lease.generation == 1
+        assert lease.owner == "worker-1"
+
+    def test_live_lease_blocks_other_owners(self, manager):
+        assert manager.acquire("job-a", "worker-1") is not None
+        assert manager.acquire("job-a", "worker-2") is None
+
+    def test_same_owner_may_reacquire(self, manager):
+        first = manager.acquire("job-a", "worker-1")
+        again = manager.acquire("job-a", "worker-1")
+        assert again is not None
+        # Re-acquisition still bumps the generation: the old handle is
+        # fenced out, even in the same process.
+        assert again.generation == first.generation + 1
+
+    def test_expired_lease_is_claimable_with_bumped_generation(
+        self, manager, clock
+    ):
+        first = manager.acquire("job-a", "worker-1")
+        clock.advance(31.0)
+        second = manager.acquire("job-a", "worker-2")
+        assert second is not None
+        assert second.generation == first.generation + 1
+
+    def test_unreadable_lease_file_is_treated_as_absent(
+        self, manager, tmp_path
+    ):
+        manager.acquire("job-a", "worker-1")
+        path = os.path.join(manager.lease_dir, "job-a.lease")
+        with open(path, "w") as handle:
+            handle.write("{torn")
+        assert manager.load("job-a") is None
+        lease = manager.acquire("job-a", "worker-2")
+        assert lease is not None
+
+    def test_lease_file_is_valid_json(self, manager):
+        manager.acquire("job-a", "worker-1")
+        path = os.path.join(manager.lease_dir, "job-a.lease")
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["job_id"] == "job-a"
+        assert data["owner"] == "worker-1"
+
+
+class TestRenew:
+    def test_renewal_pushes_expiry_forward(self, manager, clock):
+        lease = manager.acquire("job-a", "worker-1")
+        clock.advance(20.0)
+        renewed = manager.renew(lease)
+        assert renewed.expires_at == clock.now + 30.0
+        # The heartbeat keeps the lease alive past its original TTL.
+        clock.advance(20.0)
+        assert not manager.load("job-a").expired(clock.now)
+
+    def test_renewing_a_vanished_lease_raises(self, manager):
+        lease = manager.acquire("job-a", "worker-1")
+        os.remove(os.path.join(manager.lease_dir, "job-a.lease"))
+        with pytest.raises(LeaseLostError):
+            manager.renew(lease)
+
+    def test_renewing_after_takeover_raises(self, manager, clock):
+        stale = manager.acquire("job-a", "worker-1")
+        clock.advance(31.0)
+        fresh = manager.acquire("job-a", "worker-2")
+        assert fresh is not None
+        with pytest.raises(LeaseLostError):
+            manager.renew(stale)
+
+    def test_renewing_an_expired_lease_raises(self, manager, clock):
+        lease = manager.acquire("job-a", "worker-1")
+        clock.advance(31.0)
+        # Nobody took the job yet, but un-expiring a corpse would race
+        # the reaper: the holder must re-acquire, not renew.
+        with pytest.raises(LeaseLostError):
+            manager.renew(lease)
+
+    def test_stale_generation_cannot_renew(self, manager):
+        stale = manager.acquire("job-a", "worker-1")
+        manager.acquire("job-a", "worker-1")  # same owner, generation 2
+        with pytest.raises(LeaseLostError):
+            manager.renew(stale)
+
+
+class TestRelease:
+    def test_release_by_holder_removes_the_file(self, manager):
+        lease = manager.acquire("job-a", "worker-1")
+        assert manager.release(lease) is True
+        assert manager.load("job-a") is None
+
+    def test_release_by_fenced_holder_is_refused(self, manager, clock):
+        stale = manager.acquire("job-a", "worker-1")
+        clock.advance(31.0)
+        manager.acquire("job-a", "worker-2")
+        assert manager.release(stale) is False
+        # The new holder's lease survives the stale release attempt.
+        assert manager.load("job-a").owner == "worker-2"
+
+    def test_double_release_is_false(self, manager):
+        lease = manager.acquire("job-a", "worker-1")
+        assert manager.release(lease) is True
+        assert manager.release(lease) is False
+
+
+class TestForceExpire:
+    def test_force_expired_lease_fails_renewal_and_frees_the_job(
+        self, manager
+    ):
+        lease = manager.acquire("job-a", "worker-1")
+        manager.force_expire(lease)
+        with pytest.raises(LeaseLostError):
+            manager.renew(lease)
+        assert manager.acquire("job-a", "worker-2") is not None
+
+    def test_force_expiring_a_missing_lease_is_a_noop(self, manager):
+        ghost = Lease(
+            job_id="ghost", owner="w", generation=1,
+            acquired_at=0.0, renewed_at=0.0, ttl=1.0,
+        )
+        manager.force_expire(ghost)  # must not raise
+        assert manager.load("ghost") is None

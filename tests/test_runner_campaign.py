@@ -260,3 +260,95 @@ def test_timeout_kills_hung_worker_and_campaign_continues(tmp_path):
     ).run(specs)
     assert campaign.failures["hang"].error_kind == "RunTimeoutError"
     assert "after" in campaign.results  # the campaign outlived the hang
+
+
+class TestGracefulStop:
+    """request_stop(): finish the current point, write a resumable
+    ``interrupted`` manifest, and hand the rest to the next run."""
+
+    def _four_specs(self):
+        return [
+            _workload_spec("health/base", baseline_config()),
+            _workload_spec("health/stride", stride_config()),
+            _workload_spec("health/psb", psb_config()),
+            _workload_spec(
+                "health/base-again", baseline_config()
+            ),
+        ]
+
+    def test_serial_stop_interrupts_and_resume_completes(self, tmp_path):
+        camp = str(tmp_path / "camp")
+        specs = self._four_specs()
+        runner = CampaignRunner(camp, isolation="inline")
+        runner._on_outcome = lambda outcome: runner.request_stop()
+        result = runner.run(specs)
+        assert runner.stop_requested
+        assert result.manifest["status"] == "interrupted"
+        assert len(result.outcomes) == 1
+
+        resumed = CampaignRunner(camp, isolation="inline", resume=True).run(
+            specs
+        )
+        assert resumed.manifest["status"] == "complete"
+        assert resumed.manifest["ok"] == 4
+        assert resumed.manifest["resumed_from_checkpoint"] == 1
+        # No point ran twice: one checkpoint line per run_id.
+        with open(os.path.join(camp, CHECKPOINT_NAME)) as handle:
+            run_ids = [
+                json.loads(line)["run_id"]
+                for line in handle
+                if line.strip()
+            ]
+        assert sorted(run_ids) == sorted(set(run_ids))
+
+    def test_stale_stop_request_does_not_leak_into_a_new_run(self, tmp_path):
+        # run() clears any stop requested before it started, so a
+        # runner reused after an interruption executes normally.
+        camp = str(tmp_path / "camp")
+        runner = CampaignRunner(camp, isolation="inline")
+        runner.request_stop()
+        result = runner.run(self._four_specs())
+        assert not runner.stop_requested
+        assert result.manifest["status"] == "complete"
+        assert result.manifest["ok"] == 4
+
+    def test_sigterm_with_handle_signals_stops_gracefully(self, tmp_path):
+        import signal as _signal
+
+        camp = str(tmp_path / "camp")
+        runner = CampaignRunner(
+            camp, isolation="inline", handle_signals=True
+        )
+        before = _signal.getsignal(_signal.SIGTERM)
+        runner._on_outcome = lambda outcome: os.kill(
+            os.getpid(), _signal.SIGTERM
+        )
+        result = runner.run(self._four_specs())
+        # The signal stopped the campaign instead of killing the
+        # process, and the previous handler is back in place.
+        assert result.manifest["status"] == "interrupted"
+        assert len(result.outcomes) == 1
+        assert _signal.getsignal(_signal.SIGTERM) is before
+
+    @pytest.mark.slow
+    def test_parallel_stop_interrupts_and_resume_completes(self, tmp_path):
+        camp = str(tmp_path / "camp")
+        specs = self._four_specs()
+        runner = CampaignRunner(camp, isolation="process", workers=2)
+        runner._on_outcome = lambda outcome: runner.request_stop()
+        result = runner.run(specs)
+        assert result.manifest["status"] == "interrupted"
+        assert len(result.outcomes) < 4
+
+        resumed = CampaignRunner(camp, isolation="inline", resume=True).run(
+            specs
+        )
+        assert resumed.manifest["status"] == "complete"
+        assert resumed.manifest["ok"] == 4
+        with open(os.path.join(camp, CHECKPOINT_NAME)) as handle:
+            run_ids = [
+                json.loads(line)["run_id"]
+                for line in handle
+                if line.strip()
+            ]
+        assert sorted(run_ids) == sorted(set(run_ids))

@@ -1,0 +1,395 @@
+"""The campaign service end to end: HTTP API, scheduling, recovery.
+
+The in-process tests run the real :class:`CampaignService` on a private
+event loop in a daemon thread and talk to it over real sockets with
+``urllib`` — the same wire path production clients use.  The slow test
+at the bottom goes further: it SIGKILLs a live ``repro-sim serve``
+subprocess mid-campaign and proves a restarted server finishes the job
+exactly once.
+"""
+
+import asyncio
+import contextlib
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.runner.chaos import ChaosSpec
+from repro.service import CampaignService, job_id_of, normalize_spec
+from repro.service.client import request_json
+
+INSTRUCTIONS = 1500
+
+
+@contextlib.contextmanager
+def running_service(service_dir, **kwargs):
+    """A live CampaignService on its own loop thread, drained on exit."""
+    kwargs.setdefault("poll_interval", 0.05)
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+
+    def _build():
+        return CampaignService(str(service_dir), **kwargs)
+
+    # Construct on the loop thread so every asyncio object binds there.
+    service = asyncio.run_coroutine_threadsafe(
+        _async_build(_build), loop
+    ).result(10)
+    asyncio.run_coroutine_threadsafe(service.start(), loop).result(10)
+    try:
+        yield service
+    finally:
+        asyncio.run_coroutine_threadsafe(service.drain(), loop).result(120)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
+
+
+async def _async_build(factory):
+    return factory()
+
+
+def submit_payload(**overrides):
+    payload = {
+        "workload": "health",
+        "machines": "base,stride",
+        "instructions": INSTRUCTIONS,
+        "isolation": "inline",
+    }
+    payload.update(overrides)
+    return payload
+
+
+def wait_terminal(url, job_id, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, _, job = request_json("GET", f"{url}/jobs/{job_id}")
+        assert status == 200, job
+        if job["terminal"]:
+            return job
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} never reached a terminal state")
+
+
+class TestHttpApi:
+    def test_submit_execute_and_serve_artifacts(self, tmp_path):
+        with running_service(tmp_path / "svc") as service:
+            url = service.url
+            status, _, health = request_json("GET", f"{url}/healthz")
+            assert status == 200 and health["status"] == "ok"
+
+            status, _, body = request_json(
+                "POST", f"{url}/jobs", submit_payload()
+            )
+            assert status == 201 and body["created"] is True
+            job_id = body["job"]["job_id"]
+            # The job id is the content address of the normalized spec.
+            assert job_id == job_id_of(normalize_spec(submit_payload()))
+
+            job = wait_terminal(url, job_id)
+            assert job["state"] == "done"
+            assert job["summary"]["ok"] == 2
+            assert job["summary"]["total_points"] == 2
+
+            status, _, manifest = request_json(
+                "GET", f"{url}/jobs/{job_id}/manifest"
+            )
+            assert status == 200
+            assert manifest["status"] == "complete"
+            assert manifest["ok"] == 2
+
+            with urllib.request.urlopen(
+                f"{url}/jobs/{job_id}/report"
+            ) as response:
+                assert response.status == 200
+                assert "text/html" in response.headers["Content-Type"]
+                assert b"<!DOCTYPE html>" in response.read()
+
+            status, _, listing = request_json("GET", f"{url}/jobs")
+            assert status == 200
+            assert [j["job_id"] for j in listing["jobs"]] == [job_id]
+
+    def test_progress_events_stream(self, tmp_path):
+        with running_service(tmp_path / "svc") as service:
+            url = service.url
+            # A job big enough that it cannot finish between polls —
+            # events are buffered only while the job is active.
+            _, _, body = request_json(
+                "POST", f"{url}/jobs",
+                submit_payload(machines="all", instructions=4000),
+            )
+            job_id = body["job"]["job_id"]
+            deadline = time.monotonic() + 120
+            lines = []
+            while time.monotonic() < deadline:
+                with urllib.request.urlopen(
+                    f"{url}/jobs/{job_id}/events"
+                ) as response:
+                    text = response.read().decode()
+                lines = [l for l in text.splitlines() if l]
+                if lines:
+                    break
+            assert lines, "no progress events ever appeared"
+            event = json.loads(lines[0])
+            assert event["job_id"] == job_id
+            assert event["seq"] == 1
+            assert "line" in event
+
+    def test_duplicate_submission_returns_the_same_job(self, tmp_path):
+        with running_service(tmp_path / "svc") as service:
+            url = service.url
+            status, _, first = request_json(
+                "POST", f"{url}/jobs", submit_payload()
+            )
+            status2, _, second = request_json(
+                "POST", f"{url}/jobs", submit_payload()
+            )
+            assert status == 201 and status2 == 200
+            assert second["created"] is False
+            assert second["job"]["job_id"] == first["job"]["job_id"]
+
+    def test_invalid_spec_is_a_400(self, tmp_path):
+        with running_service(tmp_path / "svc") as service:
+            url = service.url
+            for bad in (
+                {"workload": "quake"},
+                {"workload": "health", "machines": "warp-drive"},
+                {"workload": "health", "typo_field": 1},
+                {"workload": "health", "instructions": -1},
+            ):
+                status, _, body = request_json("POST", f"{url}/jobs", bad)
+                assert status == 400, bad
+                assert "error" in body
+
+    def test_unknown_routes_are_404(self, tmp_path):
+        with running_service(tmp_path / "svc") as service:
+            url = service.url
+            assert request_json("GET", f"{url}/nope")[0] == 404
+            assert request_json("GET", f"{url}/jobs/missing")[0] == 404
+            assert (
+                request_json("GET", f"{url}/jobs/missing/manifest")[0] == 404
+            )
+
+    def test_back_pressure_is_429_with_retry_after(self, tmp_path):
+        # A scheduler that never wakes up keeps submissions queued, so
+        # the admission bound is hit deterministically.
+        with running_service(
+            tmp_path / "svc", max_queued=1, poll_interval=60.0,
+            retry_after=9.0,
+        ) as service:
+            url = service.url
+            assert (
+                request_json("POST", f"{url}/jobs", submit_payload())[0]
+                == 201
+            )
+            status, headers, body = request_json(
+                "POST", f"{url}/jobs", submit_payload(workload="burg")
+            )
+            assert status == 429
+            assert headers.get("retry-after") == "9"
+            assert body["retry_after"] == 9.0
+            # Idempotent resubmission of the *known* job is not new
+            # admission: it must succeed even while the queue is full.
+            status, _, body = request_json(
+                "POST", f"{url}/jobs", submit_payload()
+            )
+            assert status == 200 and body["created"] is False
+
+    def test_draining_service_refuses_submissions_with_503(self, tmp_path):
+        with running_service(
+            tmp_path / "svc", poll_interval=60.0
+        ) as service:
+            url = service.url
+            service.draining = True
+            status, headers, _ = request_json(
+                "POST", f"{url}/jobs", submit_payload()
+            )
+            assert status == 503
+            assert "retry-after" in headers
+            service.draining = False  # let the exit drain run normally
+
+
+class TestChaos:
+    def test_duplicate_submission_chaos_is_absorbed(self, tmp_path):
+        chaos = ChaosSpec(duplicate_submissions=(0,))
+        with running_service(
+            tmp_path / "svc", poll_interval=60.0, chaos=chaos
+        ) as service:
+            url = service.url
+            status, _, body = request_json(
+                "POST", f"{url}/jobs", submit_payload()
+            )
+            assert status == 201 and body["created"] is True
+            _, _, listing = request_json("GET", f"{url}/jobs")
+            assert len(listing["jobs"]) == 1
+            assert (
+                service.chaos.counters["submissions_duplicated"] == 1
+            )
+
+    def test_dropped_heartbeat_expires_lease_and_job_recovers(
+        self, tmp_path
+    ):
+        """Kill-between-lease-renewals: the heartbeat stops, the run is
+        abandoned, the lease ages out, the reaper re-enqueues, and the
+        *same server* finishes the job from its checkpoint — exactly
+        once."""
+        chaos = ChaosSpec(drop_lease_renewals=(0,))
+        with running_service(
+            tmp_path / "svc",
+            chaos=chaos,
+            lease_ttl=0.6,
+            renew_interval=0.05,
+        ) as service:
+            url = service.url
+            _, _, body = request_json(
+                "POST", f"{url}/jobs",
+                submit_payload(machines="all", instructions=2500),
+            )
+            job_id = body["job"]["job_id"]
+            job = wait_terminal(url, job_id, timeout=180)
+            assert job["state"] == "done"
+            assert job["expiries"] == 1
+            assert job["claims"] == 2
+            assert service.chaos.counters["renewals_dropped"] == 1
+        _assert_exactly_once(tmp_path / "svc", job_id, job)
+
+    def test_stolen_lease_fences_the_owner_and_job_recovers(self, tmp_path):
+        """The expired-lease race: the lease is force-expired under its
+        owner, whose next renewal must fence out; the job still ends
+        done, exactly once."""
+        chaos = ChaosSpec(steal_lease_renewals=(0,))
+        with running_service(
+            tmp_path / "svc",
+            chaos=chaos,
+            lease_ttl=0.6,
+            renew_interval=0.05,
+        ) as service:
+            url = service.url
+            _, _, body = request_json(
+                "POST", f"{url}/jobs",
+                submit_payload(machines="all", instructions=2500),
+            )
+            job_id = body["job"]["job_id"]
+            job = wait_terminal(url, job_id, timeout=180)
+            assert job["state"] == "done"
+            assert job["expiries"] >= 1
+            assert service.chaos.counters["leases_stolen"] == 1
+        _assert_exactly_once(tmp_path / "svc", job_id, job)
+
+
+def _assert_exactly_once(service_dir, job_id, job):
+    """Every point checkpointed exactly once; tallies agree."""
+    checkpoint = os.path.join(
+        str(service_dir), "runs", job_id, "checkpoint.jsonl"
+    )
+    run_ids = []
+    with open(checkpoint) as handle:
+        for line in handle:
+            if line.strip():
+                run_ids.append(json.loads(line)["run_id"])
+    assert sorted(set(run_ids)) == sorted(run_ids), (
+        f"points executed more than once: "
+        f"{[r for r in set(run_ids) if run_ids.count(r) > 1]}"
+    )
+    assert len(run_ids) == job["summary"]["total_points"]
+
+
+@pytest.mark.slow
+class TestCrashRestart:
+    def test_sigkill_mid_job_then_restart_completes_exactly_once(
+        self, tmp_path
+    ):
+        """The full crash story with no graceful anything: the server
+        dies with SIGKILL mid-campaign, leaving a live lease, a running
+        job record, and a partial checkpoint.  A restarted server waits
+        out the lease, re-claims the job, resumes the campaign, and the
+        audit cross-checks every artifact it left behind."""
+        service_dir = tmp_path / "svc"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+            + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        )
+
+        def start_server():
+            server = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "serve",
+                    str(service_dir), "--port", "0",
+                    "--lease-ttl", "2", "--poll-interval", "0.05",
+                ],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                env=env, text=True,
+            )
+            line = server.stdout.readline()
+            match = re.search(r"http://\S+", line)
+            assert match, f"no URL announced: {line!r}"
+            return server, match.group(0)
+
+        server, url = start_server()
+        try:
+            status, _, body = request_json(
+                "POST", f"{url}/jobs",
+                submit_payload(machines="all", instructions=3000),
+            )
+            assert status == 201
+            job_id = body["job"]["job_id"]
+            checkpoint = os.path.join(
+                str(service_dir), "runs", job_id, "checkpoint.jsonl"
+            )
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if (
+                    os.path.exists(checkpoint)
+                    and os.path.getsize(checkpoint) > 0
+                ):
+                    break
+                time.sleep(0.05)
+            else:
+                raise AssertionError("job never checkpointed a point")
+            server.send_signal(signal.SIGKILL)
+            server.wait(timeout=30)
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait(timeout=30)
+
+        # The kill left a running job and a live-looking lease behind.
+        jobs_lines = open(
+            os.path.join(str(service_dir), "jobs.jsonl")
+        ).read()
+        assert '"state": "running"' in jobs_lines
+
+        server, url = start_server()
+        try:
+            job = wait_terminal(url, job_id, timeout=240)
+            assert job["state"] == "done", job
+            assert job["expiries"] == 1
+            assert job["claims"] == 2
+            _assert_exactly_once(service_dir, job_id, job)
+        finally:
+            server.send_signal(signal.SIGTERM)
+            try:
+                out, _ = server.communicate(timeout=60)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                raise
+            assert server.returncode == 0, out
+
+        # The auditor must find no cross-layer contradiction.  (A
+        # SIGKILL mid-append may leave a CRC-rejected fragment, which
+        # is a warning by design, so this is the non-strict gate.)
+        audit = subprocess.run(
+            [sys.executable, "-m", "repro", "audit", str(service_dir)],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert audit.returncode == 0, audit.stdout + audit.stderr

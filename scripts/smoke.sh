@@ -46,6 +46,27 @@ python -m repro bench --quick --out "$bench_out/BENCH_core.json" \
 rm -rf "$bench_out"
 
 echo
+echo "== sampled simulation (SMARTS windows over fast-forward) =="
+sample_dir="$(mktemp -d)"
+python -m repro run health --machine psb --instructions 120000 \
+    --sample 40000:1000:500 \
+    --metrics --metrics-out "$sample_dir/metrics.json"
+python -m repro report --metrics "$sample_dir/metrics.json" \
+    --out "$sample_dir/sampled.md"
+grep -q '## Sampling' "$sample_dir/sampled.md"
+grep -q '95% CI' "$sample_dir/sampled.md"
+python - "$sample_dir/metrics.json" <<'EOF'
+import json, sys
+extra = json.load(open(sys.argv[1]))["result"]["extra"]
+assert extra["sampled"] == 1.0, extra
+assert extra["windows"] == 3.0, extra
+assert extra["ff_instructions"] > 100000, extra
+print("smoke: sampled run measured", int(extra["windows"]),
+      "windows over", int(extra["ff_instructions"]), "fast-forwarded records")
+EOF
+rm -rf "$sample_dir"
+
+echo
 echo "== observability: metrics, event trace, reports =="
 obs_dir="$(mktemp -d)"
 python -m repro run health --machine psb --instructions 5000 \

@@ -5,6 +5,7 @@ Usage (also available as ``python -m repro``)::
     repro-sim workloads
     repro-sim run health --machine psb --instructions 50000
     repro-sim run health --invariants full
+    repro-sim run health --instructions 1000000 --sample 50000:1000:500
     repro-sim run health --metrics --trace-events ev.jsonl
     repro-sim report --events ev.jsonl --out report.html
     repro-sim compare health --instructions 50000
@@ -108,6 +109,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated event categories to keep "
              "(alloc,prefetch,priority,demand,integrity; default: all)",
     )
+    _add_sample_argument(run)
 
     compare = commands.add_parser(
         "compare", help="run all six Figure 5 machines on one workload"
@@ -189,6 +191,24 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--profile", default=None, metavar="DIR",
         help="dump per-run cProfile stats into DIR",
+    )
+    bench.add_argument(
+        "--sampling", action="store_true",
+        help="run the sampling suite instead: each workload detailed vs "
+             "SMARTS-sampled, gating on detailed bit-identity, sampled "
+             "IPC error, and effective speedup (defaults: machine psb, "
+             "1000000 instructions, out BENCH_sampling.json)",
+    )
+    _add_sample_argument(bench)
+    bench.add_argument(
+        "--error-bound", type=float, default=0.20, metavar="FRACTION",
+        help="with --sampling: stated |IPC error| bound stamped into "
+             "the report (default: 0.20)",
+    )
+    bench.add_argument(
+        "--speedup-floor", type=float, default=10.0, metavar="X",
+        help="with --sampling: stated effective-speedup floor stamped "
+             "into the report (default: 10.0)",
     )
 
     report = commands.add_parser(
@@ -287,6 +307,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="diff every completed point against the golden functional "
              "model (requires --warmup 0)",
     )
+    _add_sample_argument(sweep)
     sweep.add_argument(
         "--chaos-seed", type=int, default=None, metavar="SEED",
         help="inject a deterministic, seeded schedule of environment "
@@ -485,7 +506,51 @@ def _add_run_arguments(
     )
 
 
+def _add_sample_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sample", default=None, metavar="PERIOD:WINDOW:WARMUP",
+        help="run under SMARTS-style systematic sampling: per PERIOD "
+             "trace records, fast-forward to a detailed window of "
+             "WARMUP discarded + WINDOW measured instructions (e.g. "
+             "50000:1000:500); implies --warmup 0",
+    )
+
+
+def _parse_sample(spec: str) -> tuple:
+    """Parse a ``PERIOD:WINDOW:WARMUP`` sampling shape."""
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise ConfigError(
+            f"--sample wants PERIOD:WINDOW:WARMUP, got {spec!r}",
+            field="sample",
+        )
+    try:
+        period, window, warmup = (int(part) for part in parts)
+    except ValueError:
+        raise ConfigError(
+            f"--sample wants three integers, got {spec!r}",
+            field="sample",
+        )
+    return period, window, warmup
+
+
+def _apply_sample(args: argparse.Namespace, config: SimConfig) -> SimConfig:
+    """Fold a ``--sample`` flag into a machine config, if given."""
+    if getattr(args, "sample", None) is None:
+        return config
+    if args.warmup not in (None, 0):
+        raise ConfigError(
+            "--sample replaces the run-level warm-up with per-window "
+            "warm-ups; drop --warmup or pass --warmup 0",
+            field="sample",
+        )
+    period, window, warmup = _parse_sample(args.sample)
+    return config.with_sampling(period=period, window=window, warmup=warmup)
+
+
 def _warmup_of(args: argparse.Namespace) -> int:
+    if getattr(args, "sample", None) is not None:
+        return 0
     if args.warmup is not None:
         return args.warmup
     return args.instructions // 3
@@ -524,7 +589,7 @@ def _command_run(args: argparse.Namespace) -> int:
             "cannot contain malformed records)",
             field="run.lax",
         )
-    config = _config_of(args, args.machine)
+    config = _apply_sample(args, _config_of(args, args.machine))
     if args.metrics:
         config = config.with_metrics(args.metrics_interval)
     event_trace = None
@@ -565,6 +630,20 @@ def _command_run(args: argparse.Namespace) -> int:
         ["prefetches issued", f"{result.prefetches_issued}"],
         ["prefetch accuracy", f"{result.prefetch_accuracy * 100:.1f}%"],
     ]
+    if result.extra.get("sampled"):
+        rows.append(
+            ["sampled windows",
+             f"{int(result.extra.get('windows', 0))} x "
+             f"{int(result.extra.get('sample_window', 0))} instr "
+             f"(period {int(result.extra.get('sample_period', 0))})"]
+        )
+        rows.append(
+            ["IPC 95% CI", f"+/- {result.extra.get('ipc_ci95', 0.0):.4f}"]
+        )
+        rows.append(
+            ["fast-forwarded",
+             f"{int(result.extra.get('ff_instructions', 0))} records"]
+        )
     if args.invariants != "off":
         rows.append(
             ["invariant checks",
@@ -766,6 +845,15 @@ def _command_bench(args: argparse.Namespace) -> int:
     if args.quick and args.instructions == 50_000:
         instructions = 10_000
 
+    if args.sampling:
+        if args.quick:
+            raise ConfigError(
+                "bench: --sampling has no --quick mode; the error/"
+                "speedup gate is only meaningful at full trace scale",
+                field="bench.sampling",
+            )
+        return _bench_sampling(args, workloads)
+
     report = run_bench(
         workloads,
         MACHINES[args.machine](),
@@ -785,6 +873,58 @@ def _command_bench(args: argparse.Namespace) -> int:
     if args.check is not None:
         baseline = load_baseline(args.check)
         failures = check_against_baseline(
+            report, baseline, tolerance=args.tolerance
+        )
+        if failures:
+            for failure in failures:
+                print(f"bench regression: {failure}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.check} "
+              f"(tolerance {args.tolerance * 100:.0f}%)")
+    return 0
+
+
+def _bench_sampling(args: argparse.Namespace, workloads: List[str]) -> int:
+    """The ``bench --sampling`` suite: detailed vs sampled per workload."""
+    from repro.perf import (
+        check_sampling_baseline,
+        format_sampling_report,
+        load_baseline,
+        run_sampling_bench,
+        write_report,
+    )
+
+    # The suite's own defaults: the regression target is the paper
+    # machine at acceptance scale, not the core suite's quick shape.
+    machine = "psb" if args.machine == "base" else args.machine
+    instructions = args.instructions
+    if instructions == 50_000:
+        instructions = 1_000_000
+    out = args.out
+    if out == "BENCH_core.json":
+        out = "BENCH_sampling.json"
+    sample = _parse_sample(args.sample) if args.sample else (50_000, 1_000, 500)
+
+    report = run_sampling_bench(
+        workloads,
+        MACHINES[machine](),
+        machine=machine,
+        instructions=instructions,
+        seed=args.seed,
+        sample=sample,
+        ipc_error_bound=args.error_bound,
+        speedup_floor=args.speedup_floor,
+        profile_dir=args.profile,
+    )
+    write_report(report, out)
+    print(format_sampling_report(report))
+    print(f"wrote {out}")
+    if args.profile:
+        print(f"cProfile dumps in {args.profile}/")
+
+    if args.check is not None:
+        baseline = load_baseline(args.check)
+        failures = check_sampling_baseline(
             report, baseline, tolerance=args.tolerance
         )
         if failures:
@@ -838,6 +978,12 @@ def _command_sweep(args: argparse.Namespace) -> int:
             "discards events the golden model counts)",
             field="sweep.golden",
         )
+    if args.golden and args.sample is not None:
+        raise ConfigError(
+            "sweep: --golden and --sample are incompatible (the golden "
+            "model counts every record; sampling only measures windows)",
+            field="sweep.golden",
+        )
     if args.machines == "all":
         machines = sorted(MACHINES)
     else:
@@ -867,7 +1013,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     specs = [
         RunSpec(
             run_id=f"{args.workload}/{name}",
-            config=_config_of(args, name),
+            config=_apply_sample(args, _config_of(args, name)),
             trace=WorkloadSpec(args.workload, seed=args.seed),
             max_instructions=args.instructions,
             warmup_instructions=_warmup_of(args),

@@ -322,6 +322,43 @@ class PrefetchConfig:
 
 
 @dataclass(frozen=True)
+class SamplingConfig:
+    """SMARTS-style systematic sampling (fast-forward + measured windows).
+
+    The trace is divided into back-to-back periods of ``period`` records.
+    Each period starts with a detailed window of ``warmup + window``
+    instructions — the first ``warmup`` warm the timing state and are
+    discarded, the remaining ``window`` are measured — and the rest of
+    the period is replayed by the functional fast-forward engine
+    (:mod:`repro.sampling`), which warms cache tags, branch-predictor
+    state, and prefetcher tables at trace-replay speed.
+    """
+
+    #: Records per sampling period (detailed window + fast-forward gap).
+    period: int = 50_000
+    #: Measured detailed instructions per period.
+    window: int = 1_000
+    #: Detailed warm-up instructions preceding each measured window.
+    warmup: int = 500
+
+    def __post_init__(self) -> None:
+        owner = "SamplingConfig"
+        _require(self.period > 0, owner, "period", "must be positive")
+        _require(self.window > 0, owner, "window", "must be positive")
+        _require(self.warmup >= 0, owner, "warmup", "must be >= 0")
+        _require(
+            self.window + self.warmup < self.period,
+            owner, "window",
+            "window + warmup must be smaller than the period",
+        )
+
+    @property
+    def detailed_per_period(self) -> int:
+        """Instructions simulated in detail each period."""
+        return self.window + self.warmup
+
+
+@dataclass(frozen=True)
 class SimConfig:
     """Top-level simulation configuration: the paper's baseline machine."""
 
@@ -376,6 +413,12 @@ class SimConfig:
     #: components then talk to shared no-op instruments and the run is
     #: bit-identical to an unobserved one.
     metrics_interval: Optional[int] = None
+    #: When set, runs use SMARTS-style systematic sampling: detailed
+    #: measured windows alternating with functional fast-forward
+    #: (:mod:`repro.sampling`).  ``None`` (the default) simulates every
+    #: instruction in detail; the detailed path is untouched by the
+    #: sampling machinery, so results stay bit-identical.
+    sampling: Optional[SamplingConfig] = None
 
     def __post_init__(self) -> None:
         _require(
@@ -407,6 +450,20 @@ class SimConfig:
         Pass ``None`` to turn metrics collection back off.
         """
         return replace(self, metrics_interval=interval)
+
+    def with_sampling(
+        self,
+        period: int = 50_000,
+        window: int = 1_000,
+        warmup: int = 500,
+    ) -> "SimConfig":
+        """Return a copy that runs under systematic sampling."""
+        return replace(
+            self,
+            sampling=SamplingConfig(
+                period=period, window=window, warmup=warmup
+            ),
+        )
 
     def with_prefetcher(self, prefetch: PrefetchConfig) -> "SimConfig":
         """Return a copy of this config using ``prefetch``."""

@@ -146,6 +146,22 @@ class DemandMarkovPrefetcher(PrefetcherPort):
             return NEVER
         return self.hierarchy.next_prefetch_slot(cycle)
 
+    def quiesce(self) -> None:
+        """Bound the pending queue after a fast-forward stretch.
+
+        Fast-forward trains the Markov table on every functional miss
+        without ticking, so ``_pending`` (and the ``_source`` back-map
+        for never-issued predictions) grows with the gap length; keep
+        only the newest buffer's worth of predictions.
+        """
+        if len(self._pending) <= self.buffer.entries:
+            return
+        dropped = self._pending[: -self.buffer.entries]
+        del self._pending[: -self.buffer.entries]
+        for address in dropped:
+            if not self.buffer.contains(address):
+                self._source.pop(address, None)
+
     @property
     def accuracy(self) -> float:
         if self.prefetches_issued == 0:

@@ -94,6 +94,16 @@ class NextLinePrefetcher(PrefetcherPort):
             return NEVER
         return self.hierarchy.next_prefetch_slot(cycle)
 
+    def quiesce(self) -> None:
+        """Bound the pending queue after a fast-forward stretch.
+
+        Fast-forward calls :meth:`on_l1_miss` for every functional miss
+        without ticking, so ``_pending`` grows with the gap length; only
+        the most recent requests could ever fit the buffer anyway.
+        """
+        if len(self._pending) > self.buffer.entries:
+            del self._pending[: -self.buffer.entries]
+
     @property
     def accuracy(self) -> float:
         if self.prefetches_issued == 0:

@@ -24,7 +24,7 @@ import uuid
 import zlib
 from typing import Iterable, Iterator, Optional
 
-from repro.errors import SimulationError
+from repro.errors import IntegrityError, SimulationError
 from repro.trace.record import TraceRecord
 
 
@@ -37,24 +37,41 @@ class SimSnapshot:
     simulator that produced it).
     """
 
-    __slots__ = ("payload", "cycle", "records_consumed", "label", "checksum")
+    __slots__ = (
+        "payload", "cycle", "records_consumed", "label", "checksum", "mode"
+    )
 
     def __init__(
-        self, payload: bytes, cycle: int, records_consumed: int, label: str
+        self,
+        payload: bytes,
+        cycle: int,
+        records_consumed: int,
+        label: str,
+        mode: str = "detailed",
     ) -> None:
         self.payload = payload
         self.cycle = cycle
         self.records_consumed = records_consumed
         self.label = label
         self.checksum = zlib.crc32(payload) & 0xFFFFFFFF
+        #: Which driver captured this snapshot: ``"detailed"`` payloads
+        #: hold ``(simulator, _RunState)`` pairs, ``"sampled"`` ones hold
+        #: ``(simulator, _SamplingState)``.  Resume paths check the tag
+        #: so a cross-mode resume fails loudly instead of deserializing
+        #: the wrong state shape into a silently diverging run.
+        self.mode = mode
 
     @classmethod
-    def capture(cls, simulator, state, label: str = "run") -> "SimSnapshot":
+    def capture(
+        cls, simulator, state, label: str = "run", mode: str = "detailed"
+    ) -> "SimSnapshot":
         """Freeze ``simulator`` + its run ``state`` into a snapshot."""
         payload = pickle.dumps(
             (simulator, state), protocol=pickle.HIGHEST_PROTOCOL
         )
-        return cls(payload, state.cycle, state.records_consumed, label)
+        return cls(
+            payload, state.cycle, state.records_consumed, label, mode=mode
+        )
 
     def verify(self) -> None:
         """Raise :class:`SimulationError` if the payload was modified.
@@ -131,6 +148,9 @@ class SimSnapshot:
         # against their own payload (no integrity claim either way).
         if "checksum" not in state:
             self.checksum = zlib.crc32(self.payload) & 0xFFFFFFFF
+        # Snapshots written before sampling existed were all detailed.
+        if "mode" not in state:
+            self.mode = "detailed"
 
     def __repr__(self) -> str:
         return (
@@ -161,7 +181,17 @@ def resume_run(
     records are skipped.  Returns the same
     :class:`~repro.sim.results.SimulationResult` an uninterrupted run
     would, with ``extra["resumed_from_cycle"]`` marking the seam.
+
+    Only ``"detailed"`` snapshots can resume here; a sampled-mode
+    snapshot carries driver state the detailed loop cannot interpret, so
+    it must resume through :func:`repro.sampling.driver.resume_sampled`.
     """
+    if snapshot.mode != "detailed":
+        raise IntegrityError(
+            f"snapshot {snapshot.label!r} was captured in "
+            f"{snapshot.mode!r} mode and cannot resume into the detailed "
+            f"loop; use repro.sampling.driver.resume_sampled"
+        )
     simulator, state = snapshot.restore()
     source = fast_forward(trace, snapshot.records_consumed)
     result = simulator._drive(

@@ -92,6 +92,30 @@ class PrefetcherPort:
         """
         return NEVER
 
+    def quiesce(self) -> None:
+        """Trim unbounded transient state after a fast-forward stretch.
+
+        The sampling driver (:mod:`repro.sampling`) trains prefetchers on
+        every fast-forwarded L1 miss without ever running :meth:`tick`,
+        so implementations that queue work between the two (the demand
+        prefetchers' pending lists) must bound that queue here.  Learned
+        predictor state must be preserved.  The default is a no-op.
+        """
+
+    def warm_l1_miss(self, pc: int, addr: int) -> None:
+        """Functionally warm predictor state for one fast-forwarded miss.
+
+        Called by the sampling fast-forward engine instead of
+        :meth:`on_l1_miss`: implementations should update only the
+        *persistent* learned state (predictor tables, confidence
+        counters) and may skip transient per-miss work — allocation,
+        priority aging, prefetch scheduling — which the next measured
+        window's warm-up rebuilds anyway.  The default delegates to
+        :meth:`on_l1_miss` at cycle 0 so simple prefetchers warm with
+        full fidelity.
+        """
+        self.on_l1_miss(pc, addr, 0, False)
+
 
 class L2Pipeline:
     """The L2 accepts overlapping accesses, ``depth`` at a time."""

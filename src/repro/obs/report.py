@@ -142,6 +142,7 @@ def run_report(
     meta = payload.get("meta", {})
     out: List[str] = [f"# {title}", ""]
     out.extend(_section_summary(meta, result, payload))
+    out.extend(_section_sampling(result))
     out.extend(_section_hit_rates(final, result))
     out.extend(_section_stream_buffers(payload, final))
     out.extend(_section_bus(payload, final))
@@ -181,6 +182,70 @@ def _section_summary(
     lines = ["## Summary", ""]
     lines.extend(_table(("Quantity", "Value"), rows))
     lines.append("")
+    return lines
+
+
+def _section_sampling(result: Dict[str, Any]) -> List[str]:
+    """The sampled-run panel: CI bar plus the per-window breakdown.
+
+    Present only for results produced by the SMARTS-style sampling
+    driver (``extra.sampled``); detailed runs render nothing here.
+    """
+    extra = result.get("extra", {})
+    if not extra.get("sampled"):
+        return []
+    ipc = float(result.get("ipc", 0.0))
+    ci = float(extra.get("ipc_ci95", 0.0))
+    windows = int(extra.get("windows", 0))
+    lines = ["## Sampling", ""]
+    lines.append(
+        f"Systematic sample: **{windows} windows** of "
+        f"{_fmt(extra.get('sample_window', 0))} measured instructions "
+        f"(+{_fmt(extra.get('sample_warmup', 0))} warm-up) every "
+        f"{_fmt(extra.get('sample_period', 0))} records; "
+        f"{_fmt(extra.get('ff_instructions', 0))} instructions "
+        "fast-forwarded between windows."
+    )
+    lines.append("")
+    lines.append(
+        f"Estimated IPC **{ipc:.4f} ± {ci:.4f}** (95% CI over "
+        "per-window IPC; the whole-trace estimate is "
+        "instruction-weighted)."
+    )
+    lines.append("")
+    rows = []
+    ipcs = []
+    for index in range(windows):
+        key = f"win.{index}.ipc"
+        if key not in extra:
+            break  # rows past the export cap (_MAX_WINDOW_ROWS)
+        ipcs.append(float(extra[key]))
+        rows.append(
+            (
+                str(index),
+                f"{extra[key]:.4f}",
+                _fmt(extra.get(f"win.{index}.instructions", 0)),
+                _fmt(extra.get(f"win.{index}.cycles", 0)),
+                f"{extra.get(f'win.{index}.miss_rate', 0.0):.4f}",
+            )
+        )
+    if rows:
+        if len(rows) < windows:
+            lines.append(
+                f"Per-window rows truncated to the first {len(rows)} of "
+                f"{windows} windows."
+            )
+            lines.append("")
+        lines.extend(
+            _table(
+                ("Window", "IPC", "Instructions", "Cycles", "L1 miss rate"),
+                rows,
+            )
+        )
+        lines.append("")
+    if len(ipcs) >= 2:
+        lines.append(f"Window IPC over the trace: `{sparkline(ipcs)}`")
+        lines.append("")
     return lines
 
 
@@ -412,13 +477,23 @@ def campaign_report(campaign_dir: str) -> str:
     if metrics:
         out.append("## Per-point metrics")
         out.append("")
+        any_sampled = any(point.get("sampled") for point in metrics.values())
         point_rows = []
         for run_id in sorted(metrics):
             point = metrics[run_id]
+            ipc_cell = _fmt(point.get("ipc", 0.0))
+            if point.get("sampled"):
+                # A sampled point's IPC is an estimate: show its CI and
+                # window count so it is never mistaken for an exact run.
+                ipc_cell = (
+                    f"{point.get('ipc', 0.0):.4f} ± "
+                    f"{point.get('ipc_ci95', 0.0):.4f} "
+                    f"(sampled, n={point.get('windows', 0)})"
+                )
             point_rows.append(
                 (
                     run_id,
-                    _fmt(point.get("ipc", 0.0)),
+                    ipc_cell,
                     _fmt(point.get("l1_miss_rate", 0.0)),
                     _fmt(point.get("prefetch_accuracy", 0.0)),
                     _fmt(point.get("cycles", 0)),
@@ -430,6 +505,12 @@ def campaign_report(campaign_dir: str) -> str:
                 point_rows,
             )
         )
+        if any_sampled:
+            out.append("")
+            out.append(
+                "Sampled points report the instruction-weighted estimate "
+                "with a 95% confidence interval over per-window IPC."
+            )
         out.append("")
         ipcs = [(rid, metrics[rid].get("ipc", 0.0)) for rid in sorted(metrics)]
         if len(ipcs) >= 2:

@@ -16,9 +16,12 @@ from repro.perf.collector import PerfCollector
 from repro.perf.bench import (
     BenchmarkError,
     check_against_baseline,
+    check_sampling_baseline,
     format_report,
+    format_sampling_report,
     load_baseline,
     run_bench,
+    run_sampling_bench,
     write_report,
 )
 
@@ -26,8 +29,11 @@ __all__ = [
     "PerfCollector",
     "BenchmarkError",
     "check_against_baseline",
+    "check_sampling_baseline",
     "format_report",
+    "format_sampling_report",
     "load_baseline",
     "run_bench",
+    "run_sampling_bench",
     "write_report",
 ]

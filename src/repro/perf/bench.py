@@ -16,6 +16,13 @@ modes run back-to-back under the same machine load, so their ratio
 survives runner-class and background-load differences that make
 absolute-throughput gates flaky.  Absolute rates are still recorded in
 every report for human eyes.
+
+A second suite, :func:`run_sampling_bench` (``repro-sim bench
+--sampling``, baseline ``benchmarks/BENCH_sampling.json``), runs each
+workload detailed and under SMARTS-style sampling and gates on three
+things: the detailed reference staying bit-identical, the sampled IPC
+error staying inside the baseline's stated bound, and the effective
+speedup clearing the stated floor.
 """
 
 from __future__ import annotations
@@ -204,6 +211,212 @@ def run_bench(
         "platform": platform.platform(),
         "results": results,
     }
+
+
+def run_sampling_bench(
+    workloads: Sequence[str],
+    config: SimConfig,
+    machine: str = "psb",
+    instructions: int = 1_000_000,
+    seed: int = 1,
+    sample: Sequence[int] = (50_000, 1_000, 500),
+    ipc_error_bound: float = 0.20,
+    speedup_floor: float = 10.0,
+    profile_dir: Optional[str] = None,
+) -> dict:
+    """Benchmark SMARTS-style sampling against detailed simulation.
+
+    For each workload the same cached trace runs twice on ``config``:
+    once detailed (the reference) and once under
+    ``config.with_sampling(*sample)``.  The report records, per
+    workload, the detailed result (whose ``cycles``/``ipc`` the baseline
+    gate later requires to be *bit-identical* — the sampling subsystem
+    must never perturb the detailed path), the sampled estimate with its
+    confidence interval, the relative IPC error, and the effective
+    speedup.  ``ipc_error_bound`` and ``speedup_floor`` are stamped into
+    the report; :func:`check_sampling_baseline` enforces the *baseline's*
+    stated values, so the checked-in bound is the contract.
+    """
+    known = set(workload_names())
+    unknown = [name for name in workloads if name not in known]
+    if unknown:
+        raise BenchmarkError(
+            f"unknown workload(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    period, window, warmup = (int(value) for value in sample)
+    sampled_config = config.with_sampling(
+        period=period, window=window, warmup=warmup
+    )
+    if profile_dir is not None:
+        os.makedirs(profile_dir, exist_ok=True)
+
+    def _profile_path(name: str, mode: str) -> Optional[str]:
+        if profile_dir is None:
+            return None
+        return os.path.join(profile_dir, f"{name}-{mode}.prof")
+
+    results: Dict[str, dict] = {}
+    for name in workloads:
+        records = cached_workload_trace(name, seed=seed,
+                                        instructions=instructions)
+        detailed, detailed_wall, _ = _timed_run(
+            config, records, instructions, 0, f"{name}:detailed",
+            profile_path=_profile_path(name, "detailed"),
+        )
+        sampled, sampled_wall, _ = _timed_run(
+            sampled_config, records, instructions, 0, f"{name}:sampled",
+            profile_path=_profile_path(name, "sampled"),
+        )
+        if detailed.ipc <= 0.0:
+            raise BenchmarkError(
+                f"detailed run of {name!r} retired nothing (ipc 0); "
+                "the sampling error is undefined"
+            )
+        ipc_error = abs(sampled.ipc - detailed.ipc) / detailed.ipc
+        results[name] = {
+            "detailed": {
+                "ipc": round(detailed.ipc, 6),
+                "cycles": detailed.cycles,
+                "instructions": detailed.instructions,
+                "wall_s": round(detailed_wall, 4),
+            },
+            "sampled": {
+                "ipc": round(sampled.ipc, 6),
+                "windows": int(sampled.extra.get("windows", 0)),
+                "ipc_ci95": round(sampled.extra.get("ipc_ci95", 0.0), 6),
+                "measured_instructions": int(
+                    sampled.extra.get("measured_instructions", 0)
+                ),
+                "wall_s": round(sampled_wall, 4),
+            },
+            "ipc_error": round(ipc_error, 6),
+            "speedup": round(
+                detailed_wall / sampled_wall if sampled_wall > 0 else 0.0, 2
+            ),
+        }
+
+    return {
+        "version": REPORT_VERSION,
+        "suite": "sampling",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "machine": machine,
+        "instructions": instructions,
+        "seed": seed,
+        "sample": {"period": period, "window": window, "warmup": warmup},
+        "ipc_error_bound": ipc_error_bound,
+        "speedup_floor": speedup_floor,
+        "git_rev": _git_rev(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": results,
+    }
+
+
+def check_sampling_baseline(
+    report: dict, baseline: dict, tolerance: float = 0.25
+) -> List[str]:
+    """Gate a sampling-bench report against its checked-in baseline.
+
+    Three checks per workload, all against the *baseline's* stated
+    contract:
+
+    - the detailed reference must be **bit-identical** (cycles,
+      instructions, IPC) — the sampling subsystem must not perturb the
+      detailed path;
+    - the sampled estimate must also be bit-identical (sampling is
+      deterministic), and its relative IPC error must stay within the
+      baseline's ``ipc_error_bound``;
+    - the effective speedup must reach the baseline's ``speedup_floor``
+      scaled by ``1 - tolerance`` (wall-clock ratios survive machine
+      differences; the slack covers load noise).
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise BenchmarkError(
+            f"tolerance must be in [0, 1), got {tolerance}"
+        )
+    failures: List[str] = []
+    if baseline.get("suite") != "sampling":
+        failures.append(
+            "baseline not comparable: it is not a sampling-suite report "
+            "(re-generate with 'repro-sim bench --sampling')"
+        )
+        return failures
+    for key in ("machine", "instructions", "seed", "sample"):
+        if baseline.get(key) != report.get(key):
+            failures.append(
+                f"baseline not comparable: {key} is {baseline.get(key)!r} "
+                f"in the baseline but {report.get(key)!r} in this run"
+            )
+    if failures:
+        return failures
+    error_bound = float(baseline.get("ipc_error_bound", 0.0))
+    floor = float(baseline.get("speedup_floor", 0.0)) * (1.0 - tolerance)
+    for name, entry in sorted(report.get("results", {}).items()):
+        base_entry = baseline.get("results", {}).get(name)
+        if base_entry is None:
+            continue
+        detailed = entry.get("detailed", {})
+        base_detailed = base_entry.get("detailed", {})
+        for field in ("cycles", "instructions", "ipc"):
+            if detailed.get(field) != base_detailed.get(field):
+                failures.append(
+                    f"{name}: detailed mode is not bit-identical to the "
+                    f"baseline ({field} {detailed.get(field)} vs "
+                    f"{base_detailed.get(field)})"
+                )
+        sampled = entry.get("sampled", {})
+        base_sampled = base_entry.get("sampled", {})
+        for field in ("ipc", "windows"):
+            if sampled.get(field) != base_sampled.get(field):
+                failures.append(
+                    f"{name}: sampled estimate is not bit-identical to "
+                    f"the baseline ({field} {sampled.get(field)} vs "
+                    f"{base_sampled.get(field)})"
+                )
+        ipc_error = float(entry.get("ipc_error", 1.0))
+        if ipc_error > error_bound:
+            failures.append(
+                f"{name}: sampled IPC error {ipc_error * 100:.2f}% "
+                f"exceeds the stated bound {error_bound * 100:.2f}%"
+            )
+        speedup = float(entry.get("speedup", 0.0))
+        if speedup < floor:
+            failures.append(
+                f"{name}: effective speedup {speedup:.2f}x is below the "
+                f"stated floor {baseline.get('speedup_floor')}x "
+                f"(tolerance {tolerance * 100:.0f}% -> gate {floor:.2f}x)"
+            )
+    return failures
+
+
+def format_sampling_report(report: dict) -> str:
+    """A compact human-readable table of a sampling-bench report."""
+    sample = report.get("sample", {})
+    lines = [
+        f"bench --sampling: machine={report['machine']} "
+        f"instructions={report['instructions']} seed={report['seed']} "
+        f"period={sample.get('period')} window={sample.get('window')} "
+        f"warmup={sample.get('warmup')} rev={report['git_rev']}",
+        f"{'workload':<12} {'det IPC':>9} {'samp IPC':>9} {'err':>7} "
+        f"{'speedup':>8} {'windows':>8} {'ci95':>8}",
+    ]
+    for name, entry in sorted(report["results"].items()):
+        lines.append(
+            f"{name:<12} "
+            f"{entry['detailed']['ipc']:>9.4f} "
+            f"{entry['sampled']['ipc']:>9.4f} "
+            f"{entry['ipc_error'] * 100:>6.2f}% "
+            f"{entry['speedup']:>7.2f}x "
+            f"{entry['sampled']['windows']:>8} "
+            f"{entry['sampled']['ipc_ci95']:>8.4f}"
+        )
+    lines.append(
+        f"stated contract: |IPC error| <= "
+        f"{report['ipc_error_bound'] * 100:.1f}%, speedup >= "
+        f"{report['speedup_floor']}x"
+    )
+    return "\n".join(lines)
 
 
 def write_report(report: dict, path: str) -> None:

@@ -328,16 +328,40 @@ def execute_spec(
             except OSError:
                 pass
     if snapshot is not None:
-        simulator, state = snapshot.restore()
-        machine["simulator"] = simulator
-        resumed_cycle = snapshot.cycle
-        result = simulator._drive(
-            state,
-            fast_forward(records, snapshot.records_consumed),
-            spec.run_id,
-            snapshot_every=snapshot_every,
-            snapshot_sink=snapshot_sink,
+        expected_mode = (
+            "sampled" if spec.config.sampling is not None else "detailed"
         )
+        if snapshot.mode != expected_mode:
+            from repro.errors import IntegrityError
+
+            raise IntegrityError(
+                f"snapshot for {spec.run_id!r} was captured in "
+                f"{snapshot.mode!r} mode but the spec runs in "
+                f"{expected_mode!r} mode; refusing a cross-mode resume",
+                invariant="snapshot.mode",
+            )
+        if snapshot.mode == "sampled":
+            from repro.sampling.driver import resume_sampled
+
+            resumed_cycle = snapshot.cycle
+            result = resume_sampled(
+                snapshot,
+                records,
+                label=spec.run_id,
+                snapshot_every=snapshot_every,
+                snapshot_sink=snapshot_sink,
+            )
+        else:
+            simulator, state = snapshot.restore()
+            machine["simulator"] = simulator
+            resumed_cycle = snapshot.cycle
+            result = simulator._drive(
+                state,
+                fast_forward(records, snapshot.records_consumed),
+                spec.run_id,
+                snapshot_every=snapshot_every,
+                snapshot_sink=snapshot_sink,
+            )
     else:
         simulator = Simulator(spec.config)
         machine["simulator"] = simulator
@@ -368,6 +392,13 @@ def _golden_validate(spec: RunSpec, result: SimulationResult) -> None:
         raise ConfigError(
             "RunSpec.golden_check requires warmup_instructions == 0 "
             "(a warm-up reset discards events the golden model counts)",
+            field="RunSpec.golden_check",
+        )
+    if spec.config.sampling is not None:
+        raise ConfigError(
+            "RunSpec.golden_check is incompatible with sampling: the "
+            "conservation laws count every instruction, but a sampled "
+            "run only measures its detailed windows",
             field="RunSpec.golden_check",
         )
     reference = _resolve_trace(
@@ -1009,16 +1040,22 @@ class CampaignRunner:
         # Per-point headline metrics, so a campaign directory is
         # renderable by 'repro-sim report --campaign' without re-loading
         # every checkpointed result.
-        metrics = {
-            run_id: {
+        metrics = {}
+        for run_id, result in campaign.results.items():
+            point = {
                 "ipc": result.ipc,
                 "cycles": result.cycles,
                 "instructions": result.instructions,
                 "l1_miss_rate": result.l1_miss_rate,
                 "prefetch_accuracy": result.prefetch_accuracy,
             }
-            for run_id, result in campaign.results.items()
-        }
+            if result.extra.get("sampled"):
+                # Sampled points are estimates: record the sampling shape
+                # and the confidence interval next to the headline IPC.
+                point["sampled"] = True
+                point["windows"] = int(result.extra.get("windows", 0))
+                point["ipc_ci95"] = result.extra.get("ipc_ci95", 0.0)
+            metrics[run_id] = point
         extra: Dict[str, Any] = {
             "policy": {
                 "timeout": self.timeout,

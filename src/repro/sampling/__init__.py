@@ -1,0 +1,22 @@
+"""SMARTS-style systematic sampling over the detailed simulator.
+
+The detailed core costs microseconds of CPython per instruction; the
+structural fix (ROADMAP: "Raw speed") is to stop simulating every
+instruction in detail.  This package extends the functional golden
+model's idea (:mod:`repro.integrity.golden`) into a **fast-forward
+engine** (:mod:`repro.sampling.fastforward`) that warms the *detailed
+machine's own* L1/L2 tag state, gshare predictor, and prefetcher tables
+at trace-replay speed, and a **sampling driver**
+(:mod:`repro.sampling.driver`) that alternates fast-forward gaps with
+detailed measured windows and stitches per-window IPC into a whole-trace
+estimate with a confidence interval.
+
+Enable it with :meth:`repro.config.SimConfig.with_sampling` or
+``repro-sim run/sweep --sample PERIOD:WINDOW:WARMUP``; the detailed
+path is untouched when ``SimConfig.sampling`` is ``None``.
+"""
+
+from repro.sampling.driver import resume_sampled, run_sampled
+from repro.sampling.fastforward import FastForwardEngine
+
+__all__ = ["FastForwardEngine", "resume_sampled", "run_sampled"]

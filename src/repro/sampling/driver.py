@@ -1,0 +1,477 @@
+"""The systematic-sampling driver: detailed windows + fast-forward gaps.
+
+Each :class:`~repro.config.SamplingConfig` period of ``period`` trace
+records is fast-forwarded through the
+:class:`~repro.sampling.fastforward.FastForwardEngine` except for a
+detailed stretch of ``warmup + window`` records — ``warmup``
+instructions to warm timing state (discarded) then ``window`` measured
+instructions — placed at each period's *midpoint*: the first
+fast-forward gap is half a gap, every later gap a full one.  The
+midpoint grid (the SMARTS layout) keeps windows away from both edges of
+the estimator's blind spots: anchoring windows at period starts would
+give the program's extreme cold-start transient a whole period's
+weight, while anchoring them at period ends would never sample the
+head-of-trace ramp at all.
+
+**Window placement is a pure function of record counts.**  The
+fast-forward gap replays exactly ``period - (warmup + window)`` records
+and the detailed window consumes ``_RunState.records_consumed`` records
+(bit-identical between the event-driven and cycle-stepped loops, which
+the equivalence tests assert), so sampled results are mode-independent
+and deterministic.
+
+**The clock never rewinds.**  Every window starts at the cycle the
+previous one ended (fast-forward is zero-cycle), so in-flight fills,
+MSHR entries, and bus reservations left by the previous window drain
+naturally as the new window's monotone clock passes them — no machinery
+is quiesced between windows.
+
+Per-window statistics are harvested right after each window and stitched
+into one :class:`~repro.sim.results.SimulationResult`: whole-trace IPC
+is instruction-weighted, and ``extra`` carries the sampling metadata
+(window count, a 95% confidence interval over per-window IPC, per-window
+rows) as plain floats so manifests round-trip unchanged.
+
+Snapshots: with ``snapshot_every``/``snapshot_sink`` the driver captures
+a ``mode="sampled"`` :class:`~repro.integrity.snapshot.SimSnapshot` at
+period boundaries (the first boundary at or after each ``snapshot_every``
+cycles of progress); :func:`resume_sampled` continues one to a result
+bit-identical to an uninterrupted run.  Metrics sampling and event
+tracing (:mod:`repro.obs`) stay off in sampled mode — timelines over a
+discontinuous clock would mislead more than inform.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Iterator, List, Optional
+
+from repro.errors import IntegrityError, ReproError, SimulationError
+from repro.sampling.fastforward import FastForwardEngine
+from repro.sim.results import SimulationResult
+from repro.stats import ratio
+from repro.trace.record import TraceRecord
+
+#: How many per-window rows are exported into ``result.extra`` before
+#: truncating — manifests should stay human-readable even for very long
+#: traces.  The CI and aggregate stats always cover *all* windows.
+_MAX_WINDOW_ROWS = 64
+
+
+class _SamplingState:
+    """Everything a sampled run needs to resume at a period boundary.
+
+    Exposes ``cycle`` and ``records_consumed`` attributes so
+    :meth:`SimSnapshot.capture` treats it exactly like a ``_RunState``.
+    Plain picklable data only.
+    """
+
+    __slots__ = (
+        "cycle",
+        "records_consumed",
+        "period_index",
+        "windows",
+        "ff",
+        "merges_seen",
+        "max_instructions",
+        "last_snapshot_cycle",
+    )
+
+    def __init__(self, max_instructions: Optional[int]) -> None:
+        self.cycle = 0
+        self.records_consumed = 0
+        self.period_index = 0
+        #: One dict of raw integer counters per measured window.
+        self.windows: List[dict] = []
+        #: Fast-forward totals (mirrors the engine's counters).
+        self.ff = {
+            "instructions": 0,
+            "loads": 0,
+            "stores": 0,
+            "branches": 0,
+            "l1_misses": 0,
+        }
+        #: Cumulative L1 MSHR merges at the end of the last window (the
+        #: merge counter is never reset, so windows record deltas).
+        self.merges_seen = 0
+        self.max_instructions = max_instructions
+        self.last_snapshot_cycle = 0
+
+    def __getstate__(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            setattr(self, name, value)
+
+
+def run_sampled(
+    simulator,
+    trace: Iterable[TraceRecord],
+    max_instructions: Optional[int] = None,
+    label: str = "run",
+    snapshot_every: Optional[int] = None,
+    snapshot_sink: Optional[Callable] = None,
+) -> SimulationResult:
+    """Run ``trace`` under ``simulator.config.sampling``.
+
+    Called from :meth:`repro.sim.simulator.Simulator.run` when
+    ``config.sampling`` is set; ``max_instructions`` bounds total records
+    (fast-forwarded + detailed), matching detailed-mode semantics.
+    """
+    state = _SamplingState(max_instructions)
+    return _drive_sampled(
+        simulator,
+        iter(trace),
+        state,
+        label,
+        snapshot_every=snapshot_every,
+        snapshot_sink=snapshot_sink,
+    )
+
+
+def resume_sampled(
+    snapshot,
+    trace: Iterable[TraceRecord],
+    label: Optional[str] = None,
+    snapshot_every: Optional[int] = None,
+    snapshot_sink: Optional[Callable] = None,
+) -> SimulationResult:
+    """Continue a ``mode="sampled"`` snapshot to completion.
+
+    The counterpart of :func:`repro.integrity.snapshot.resume_run`:
+    ``trace`` must be a fresh instance of the same deterministic trace,
+    and the stitched result is bit-identical to an uninterrupted sampled
+    run (asserted by the test suite).
+    """
+    if snapshot.mode != "sampled":
+        raise IntegrityError(
+            f"snapshot {snapshot.label!r} was captured in "
+            f"{snapshot.mode!r} mode and cannot resume into the sampling "
+            f"driver; use repro.integrity.snapshot.resume_run"
+        )
+    from repro.integrity.snapshot import fast_forward
+
+    simulator, state = snapshot.restore()
+    source = fast_forward(trace, snapshot.records_consumed)
+    result = _drive_sampled(
+        simulator,
+        source,
+        state,
+        label if label is not None else snapshot.label,
+        snapshot_every=snapshot_every,
+        snapshot_sink=snapshot_sink,
+    )
+    result.extra["resumed_from_cycle"] = float(snapshot.cycle)
+    return result
+
+
+def _drive_sampled(
+    simulator,
+    source: Iterator[TraceRecord],
+    state: _SamplingState,
+    label: str,
+    snapshot_every: Optional[int] = None,
+    snapshot_sink: Optional[Callable] = None,
+) -> SimulationResult:
+    sampling = simulator.config.sampling
+    if sampling is None:
+        raise SimulationError(
+            "sampling driver invoked without SimConfig.sampling"
+        )
+    if snapshot_every is not None and snapshot_every <= 0:
+        raise SimulationError(
+            f"snapshot_every must be positive, got {snapshot_every}"
+        )
+    engine = FastForwardEngine(simulator)
+    # Seed the engine with pre-resume totals so stitched ff counters
+    # cover the whole run, not just the post-resume stretch.
+    for name, value in state.ff.items():
+        setattr(engine, name, value)
+    try:
+        with simulator.perf.time("simulate"):
+            _sampling_loop(
+                simulator,
+                source,
+                state,
+                engine,
+                label,
+                snapshot_every,
+                snapshot_sink,
+            )
+    except ReproError:
+        raise
+    except Exception as error:
+        raise SimulationError(
+            f"sampled simulation {label!r} crashed: "
+            f"{type(error).__name__}: {error}"
+        ) from error
+    state.ff = {
+        "instructions": engine.instructions,
+        "loads": engine.loads,
+        "stores": engine.stores,
+        "branches": engine.branches,
+        "l1_misses": engine.l1_misses,
+    }
+    return _stitch(simulator, state, sampling, label)
+
+
+def _sampling_loop(
+    simulator,
+    source: Iterator[TraceRecord],
+    state: _SamplingState,
+    engine: FastForwardEngine,
+    label: str,
+    snapshot_every: Optional[int],
+    snapshot_sink: Optional[Callable],
+) -> None:
+    sampling = simulator.config.sampling
+    period = sampling.period
+    window = sampling.window
+    warmup = sampling.warmup
+    core = simulator.core
+    hierarchy = simulator.hierarchy
+    controller = simulator.controller
+    checker = simulator.checker
+    budget = state.max_instructions
+
+    def on_warmup_end() -> None:
+        hierarchy.reset_stats()
+        if controller is not None:
+            controller.reset_stats()
+        if checker is not None:
+            checker.note_reset()
+
+    def reset_window_stats() -> None:
+        # With warmup == 0 the core's warm-up boundary never fires, so
+        # replicate its resets before the window starts measuring.
+        core.stats.load_latency.reset()
+        core.branch_predictor.reset_stats()
+        core.store_tracker.reset_stats()
+        on_warmup_end()
+
+    check_stride = checker.stride if checker is not None else None
+    clock = state.cycle
+    gap_target = period - (window + warmup)
+    # The first gap is half a period so windows sit at period *midpoints*
+    # (the midpoint rule): an end-of-period grid systematically skips any
+    # monotone transient at the head of the trace, biasing the estimate
+    # high.  Resumes recompute the same grid from period_index.
+    gap = (
+        gap_target // 2 if state.period_index == 0 else gap_target
+    )
+    pending = None
+
+    while True:
+        remaining = (
+            None if budget is None else budget - state.records_consumed
+        )
+        if remaining is not None and remaining <= gap + warmup:
+            # Whatever is left cannot contain a measured instruction
+            # after the gap and warm-up: fast-forward the tail so the
+            # whole budget still warms state (harmless if a later caller
+            # resumes) and stop.
+            if remaining > 0 or pending is not None:
+                state.records_consumed += engine.replay(
+                    source, max(0, remaining), clock, pending
+                )
+                hierarchy.prefetcher.quiesce()
+            break
+
+        # ---- fast-forward to the window (SMARTS functional warming) --
+        if gap > 0 or pending is not None:
+            pulled = engine.replay(source, gap, clock, pending)
+            pending = None
+            state.records_consumed += pulled
+            hierarchy.prefetcher.quiesce()
+            if pulled < gap:
+                break  # trace ran dry mid-gap: no further window fits
+        gap = gap_target
+
+        # ---- detailed window (warmup + measured) ---------------------
+        detailed_cap = window + warmup
+        if budget is not None:
+            detailed_cap = min(
+                detailed_cap, budget - state.records_consumed
+            )
+        run_state = core.begin_run(
+            max_instructions=detailed_cap, warmup_instructions=warmup
+        )
+        # Continue the global clock: the window starts where the last
+        # one ended, so leftover fills/reservations drain naturally and
+        # the deadlock detector's reference point is current.
+        run_state.cycle = clock
+        run_state.last_retire_cycle = clock
+        run_state.warmup_cycle = clock
+        if warmup == 0:
+            reset_window_stats()
+        if check_stride is None:
+            core.advance(source, run_state, on_warmup_end=on_warmup_end)
+        else:
+            while True:
+                stop = (run_state.cycle // check_stride + 1) * check_stride
+                finished = core.advance(
+                    source,
+                    run_state,
+                    on_warmup_end=on_warmup_end,
+                    stop_cycle=stop,
+                )
+                checker.on_cycle(run_state.cycle)
+                if finished:
+                    break
+        stats = core.finish_run(run_state)
+        clock = run_state.cycle
+        state.cycle = clock
+        state.records_consumed += run_state.records_consumed
+        exhausted = run_state.fetched < detailed_cap
+        if not run_state.warmup_pending and stats.retired > 0:
+            state.windows.append(_harvest_window(simulator, stats, state))
+        if exhausted:
+            break
+        # A record the window consumed but never dispatched is replayed
+        # by the next fast-forward stretch.
+        pending = run_state.pending_record
+        state.period_index += 1
+
+        if (
+            snapshot_sink is not None
+            and snapshot_every is not None
+            and clock - state.last_snapshot_cycle >= snapshot_every
+        ):
+            from repro.integrity.snapshot import SimSnapshot
+
+            state.ff = {
+                "instructions": engine.instructions,
+                "loads": engine.loads,
+                "stores": engine.stores,
+                "branches": engine.branches,
+                "l1_misses": engine.l1_misses,
+            }
+            state.last_snapshot_cycle = clock
+            snapshot_sink(
+                SimSnapshot.capture(simulator, state, label, mode="sampled")
+            )
+
+
+def _harvest_window(simulator, stats, state: _SamplingState) -> dict:
+    """Raw post-warm-up counters of the window that just finished.
+
+    Every counter here was reset at the window's warm-up boundary (or by
+    ``reset_window_stats`` when warmup is 0) except the MSHR merge
+    counter, which is cumulative and recorded as a delta.
+    """
+    hierarchy = simulator.hierarchy
+    controller = simulator.controller
+    bp = simulator.core.branch_predictor
+    merges_now = hierarchy.l1_mshr.merges
+    merges = merges_now - state.merges_seen
+    state.merges_seen = merges_now
+    return {
+        "instructions": stats.retired,
+        "cycles": stats.cycles,
+        "loads": stats.loads,
+        "stores": stats.stores,
+        "branches": stats.branches,
+        "forwarded": stats.forwarded_loads,
+        "latency_total": stats.load_latency.total,
+        "latency_count": stats.load_latency.count,
+        "demand_accesses": hierarchy.demand_accesses,
+        "demand_misses": hierarchy.demand_misses,
+        "mshr_merges": merges,
+        "bp_predictions": bp.predictions,
+        "bp_mispredictions": bp.mispredictions,
+        "l1l2_busy": hierarchy.l1_l2_bus.busy_cycles,
+        "l2mem_busy": hierarchy.l2_mem_bus.busy_cycles,
+        "tlb_accesses": hierarchy.tlb.accesses,
+        "tlb_misses": hierarchy.tlb.misses,
+        "prefetches_issued": getattr(controller, "prefetches_issued", 0),
+        "prefetches_used": getattr(controller, "prefetches_used", 0),
+        "sb_allocations": getattr(controller, "allocations", 0),
+        "sb_allocations_denied": getattr(
+            controller, "allocations_denied", 0
+        ),
+    }
+
+
+def _stitch(
+    simulator, state: _SamplingState, sampling, label: str
+) -> SimulationResult:
+    """Aggregate per-window counters into one whole-trace result."""
+    windows = state.windows
+    checker = simulator.checker
+
+    def total(key: str) -> int:
+        return sum(w[key] for w in windows)
+
+    instructions = total("instructions")
+    cycles = total("cycles")
+    ipcs = [ratio(w["instructions"], w["cycles"]) for w in windows]
+    ci95 = 0.0
+    if len(ipcs) >= 2:
+        mean = sum(ipcs) / len(ipcs)
+        variance = sum((x - mean) ** 2 for x in ipcs) / (len(ipcs) - 1)
+        ci95 = 1.96 * math.sqrt(variance) / math.sqrt(len(ipcs))
+    issued = total("prefetches_issued")
+    used = total("prefetches_used")
+    extra = {
+        # Raw counts mirroring the detailed result's extra block.
+        "demand_accesses": float(total("demand_accesses")),
+        "demand_misses": float(total("demand_misses")),
+        "l1_mshr_merges": float(total("mshr_merges")),
+        "loads": float(total("loads")),
+        "stores": float(total("stores")),
+        "branches": float(total("branches")),
+        "invariant_checks": float(
+            checker.checks_run if checker is not None else 0
+        ),
+        # Sampling metadata (floats only: manifests round-trip asdict).
+        "sampled": 1.0,
+        "sample_period": float(sampling.period),
+        "sample_window": float(sampling.window),
+        "sample_warmup": float(sampling.warmup),
+        "windows": float(len(windows)),
+        "ipc_ci95": ci95,
+        "measured_instructions": float(instructions),
+        "ff_instructions": float(state.ff["instructions"]),
+        "ff_l1_misses": float(state.ff["l1_misses"]),
+    }
+    for index, (w, ipc) in enumerate(zip(windows, ipcs)):
+        if index >= _MAX_WINDOW_ROWS:
+            break
+        extra[f"win.{index}.ipc"] = ipc
+        extra[f"win.{index}.instructions"] = float(w["instructions"])
+        extra[f"win.{index}.cycles"] = float(w["cycles"])
+        extra[f"win.{index}.miss_rate"] = ratio(
+            w["demand_misses"], w["demand_accesses"]
+        )
+    return SimulationResult(
+        label=label,
+        instructions=instructions,
+        cycles=cycles,
+        ipc=ratio(instructions, cycles),
+        l1_miss_rate=ratio(
+            total("demand_misses"), total("demand_accesses")
+        ),
+        avg_load_latency=ratio(
+            total("latency_total"), total("latency_count")
+        ),
+        load_fraction=ratio(total("loads"), instructions),
+        store_fraction=ratio(total("stores"), instructions),
+        branch_misprediction_rate=ratio(
+            total("bp_mispredictions"), total("bp_predictions")
+        ),
+        l1_l2_bus_utilization=min(
+            1.0, ratio(total("l1l2_busy"), cycles)
+        ),
+        l2_mem_bus_utilization=min(
+            1.0, ratio(total("l2mem_busy"), cycles)
+        ),
+        prefetches_issued=issued,
+        prefetches_used=used,
+        prefetch_accuracy=min(1.0, ratio(used, issued)),
+        sb_allocations=total("sb_allocations"),
+        sb_allocations_denied=total("sb_allocations_denied"),
+        forwarded_loads=total("forwarded"),
+        tlb_miss_rate=ratio(total("tlb_misses"), total("tlb_accesses")),
+        extra=extra,
+    )

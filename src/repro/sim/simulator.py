@@ -104,6 +104,28 @@ class Simulator:
             if warmup_instructions is not None
             else self.config.warmup_instructions
         )
+        if self.config.sampling is not None:
+            # SMARTS-style systematic sampling: hand the run to the
+            # sampling driver (lazy import keeps the detailed path free
+            # of any sampling machinery).  Warm-up is per measured
+            # window (SamplingConfig.warmup), so a whole-run warm-up
+            # would be double-counted.
+            if warmup:
+                raise SimulationError(
+                    "sampled runs take their warm-up from "
+                    "SamplingConfig.warmup; run-level "
+                    f"warmup_instructions={warmup} must be 0"
+                )
+            from repro.sampling.driver import run_sampled
+
+            return run_sampled(
+                self,
+                trace,
+                max_instructions=max_instructions,
+                label=label,
+                snapshot_every=snapshot_every,
+                snapshot_sink=snapshot_sink,
+            )
         state = self.core.begin_run(
             max_instructions=max_instructions, warmup_instructions=warmup
         )

@@ -184,6 +184,19 @@ class StreamBufferController(PrefetcherPort):
                 )
         self._try_allocate(pc, block, cycle)
 
+    def warm_l1_miss(self, pc: int, addr: int) -> None:
+        """Fast-forward warming: train the predictor, skip allocation.
+
+        Stream-buffer allocations and priorities are transient relative
+        to a sampling gap — they are rebuilt from the (warm) predictor
+        tables during each measured window's warm-up — so only the
+        predictor's learned state needs to observe fast-forwarded
+        misses.
+        """
+        self.predictor.train(pc, addr & ~(self.block_size - 1))
+        self._training_epoch += 1
+        self._predict_skip = False
+
     def _try_allocate(self, pc: int, block: int, cycle: int) -> None:
         # A load that already owns a stream must not thrash it: while its
         # buffer is still *working* (predictions pending or prefetches in

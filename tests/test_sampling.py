@@ -1,0 +1,450 @@
+"""SMARTS-style sampled simulation: config, driver, resume, integration.
+
+The sampled estimator's contract has three legs, each pinned here:
+
+- **Determinism** — window placement is a pure function of record
+  counts, so the sampled result is bit-identical between the
+  event-driven and cycle-stepped core loops, across snapshot
+  resume seams, and under chaos-killed campaign workers.
+- **Accuracy** — the stitched IPC stays within the stated error bound
+  of the detailed reference (the full six-workload gate lives in
+  ``bench --sampling``; here a fast subset plus the 1M acceptance
+  workload keep the bound honest in the test suite).
+- **Isolation** — sampling must never perturb the detailed path, and
+  incompatible combinations (run-level warm-up, golden checking,
+  cross-mode snapshot resume) fail loudly.
+"""
+
+import pytest
+
+from repro.config import SamplingConfig, SimConfig
+from repro.errors import ConfigError, IntegrityError, SimulationError
+from repro.integrity.golden import run_golden
+from repro.integrity.snapshot import SimSnapshot, resume_run
+from repro.memory.hierarchy import PrefetcherPort
+from repro.runner import (
+    CampaignRunner,
+    ChaosSpec,
+    RunSpec,
+    WorkloadSpec,
+    execute_spec,
+)
+from repro.sampling import FastForwardEngine, resume_sampled, run_sampled
+from repro.sim import baseline_config, psb_config
+from repro.sim.presets import next_line_config
+from repro.sim.simulator import Simulator
+from repro.trace.binfmt import compile_trace
+from repro.workloads import cached_workload_trace
+
+
+def _result_key(result):
+    """Every architectural field plus the per-window rows."""
+    return (
+        result.instructions,
+        result.cycles,
+        result.ipc,
+        result.l1_miss_rate,
+        result.avg_load_latency,
+        result.prefetches_issued,
+        result.prefetches_used,
+        result.forwarded_loads,
+        tuple(sorted(
+            (k, v) for k, v in result.extra.items()
+            if k != "resumed_from_cycle"
+        )),
+    )
+
+
+# ----------------------------------------------------------------------
+# SamplingConfig
+# ----------------------------------------------------------------------
+
+
+class TestSamplingConfig:
+    def test_defaults(self):
+        config = SamplingConfig()
+        assert (config.period, config.window, config.warmup) == (
+            50_000, 1_000, 500
+        )
+        assert config.detailed_per_period == 1_500
+
+    def test_with_sampling_round_trip(self):
+        config = SimConfig().with_sampling(period=10_000, window=400,
+                                           warmup=100)
+        assert config.sampling == SamplingConfig(10_000, 400, 100)
+        assert SimConfig().sampling is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"period": 0},
+            {"period": -5},
+            {"window": 0},
+            {"warmup": -1},
+            # The detailed stretch must leave room for a gap.
+            {"period": 1_000, "window": 800, "warmup": 200},
+            {"period": 1_000, "window": 1_200, "warmup": 0},
+        ],
+    )
+    def test_invalid_shapes_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            SamplingConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Guard rails
+# ----------------------------------------------------------------------
+
+
+class TestGuards:
+    def test_run_level_warmup_rejected(self):
+        simulator = Simulator(psb_config().with_sampling())
+        records = cached_workload_trace("health", seed=1, instructions=100)
+        with pytest.raises(SimulationError, match="warm"):
+            simulator.run(records, max_instructions=100,
+                          warmup_instructions=50)
+
+    def test_golden_check_rejected(self):
+        spec = RunSpec(
+            run_id="golden-sampled",
+            config=psb_config().with_sampling(period=2_000, window=200,
+                                              warmup=100),
+            trace=WorkloadSpec("health", seed=1),
+            max_instructions=4_000,
+            warmup_instructions=0,
+            golden_check=True,
+        )
+        with pytest.raises(ConfigError, match="sampl"):
+            execute_spec(spec)
+
+    def test_driver_requires_sampling_config(self):
+        simulator = Simulator(psb_config())
+        with pytest.raises(SimulationError, match="sampling"):
+            run_sampled(simulator, iter(()), max_instructions=10)
+
+
+# ----------------------------------------------------------------------
+# Mode-independence and determinism
+# ----------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_event_and_stepped_loops_agree_bitwise(self):
+        records = cached_workload_trace("health", seed=1,
+                                        instructions=120_000)
+        config = psb_config().with_sampling(period=40_000, window=1_000,
+                                            warmup=500)
+        event = Simulator(config).run(records, max_instructions=120_000)
+        stepped = Simulator(config.with_event_driven(False)).run(
+            records, max_instructions=120_000
+        )
+        assert event.extra["windows"] >= 2
+        assert _result_key(event) == _result_key(stepped)
+
+    def test_rerun_is_bit_identical(self):
+        records = cached_workload_trace("gs", seed=1, instructions=60_000)
+        config = psb_config().with_sampling(period=20_000, window=500,
+                                            warmup=250)
+        first = Simulator(config).run(records, max_instructions=60_000)
+        second = Simulator(config).run(records, max_instructions=60_000)
+        assert _result_key(first) == _result_key(second)
+
+    def test_windows_sit_on_the_midpoint_grid(self):
+        # 3 periods of 30k with a 1.5k detailed stretch: the fast-forward
+        # engine replays everything else, so ff + measured + warmup
+        # accounts for every record.
+        records = cached_workload_trace("health", seed=1,
+                                        instructions=90_000)
+        config = psb_config().with_sampling(period=30_000, window=1_000,
+                                            warmup=500)
+        result = Simulator(config).run(records, max_instructions=90_000)
+        assert result.extra["windows"] == 3.0
+        assert result.extra["measured_instructions"] == 3_000.0
+        consumed = (
+            result.extra["ff_instructions"]
+            + result.extra["measured_instructions"]
+            + 3 * 500
+        )
+        assert consumed == 90_000.0
+
+
+# ----------------------------------------------------------------------
+# Accuracy
+# ----------------------------------------------------------------------
+
+
+class TestErrorBound:
+    @pytest.mark.parametrize("workload,bound", [
+        ("turb3d", 0.25),
+        ("sis", 0.20),
+    ])
+    def test_short_trace_error(self, workload, bound):
+        records = cached_workload_trace(workload, seed=1,
+                                        instructions=200_000)
+        config = psb_config()
+        detailed = Simulator(config).run(
+            records, max_instructions=200_000, warmup_instructions=0
+        )
+        sampled = Simulator(
+            config.with_sampling(period=50_000, window=1_000, warmup=500)
+        ).run(records, max_instructions=200_000)
+        error = abs(sampled.ipc - detailed.ipc) / detailed.ipc
+        assert error <= bound, (
+            f"{workload}: sampled {sampled.ipc:.4f} vs detailed "
+            f"{detailed.ipc:.4f} ({error * 100:.1f}% > {bound * 100:.0f}%)"
+        )
+
+    @pytest.mark.slow
+    def test_acceptance_scale_error(self):
+        # The worst of the six workloads at the acceptance scale
+        # (dominated by its long cold-start transient; see
+        # docs/performance.md) must stay inside the stated bound.
+        records = cached_workload_trace("health", seed=1,
+                                        instructions=1_000_000)
+        config = psb_config()
+        detailed = Simulator(config).run(
+            records, max_instructions=1_000_000, warmup_instructions=0
+        )
+        sampled = Simulator(config.with_sampling()).run(
+            records, max_instructions=1_000_000
+        )
+        error = abs(sampled.ipc - detailed.ipc) / detailed.ipc
+        assert error <= 0.20
+        assert sampled.extra["windows"] == 20.0
+
+    def test_detailed_mode_untouched_by_sampling_import(self):
+        # The detailed path must produce the same result whether or not
+        # the sampling subsystem was ever exercised in the process.
+        records = cached_workload_trace("health", seed=1,
+                                        instructions=20_000)
+        config = psb_config()
+        before = Simulator(config).run(records, max_instructions=20_000,
+                                       warmup_instructions=0)
+        Simulator(
+            config.with_sampling(period=5_000, window=300, warmup=100)
+        ).run(records, max_instructions=20_000)
+        after = Simulator(config).run(records, max_instructions=20_000,
+                                      warmup_instructions=0)
+        assert (before.ipc, before.cycles) == (after.ipc, after.cycles)
+
+
+# ----------------------------------------------------------------------
+# Snapshots: mode tag, cross-mode refusal, bit-identical resume
+# ----------------------------------------------------------------------
+
+
+class TestSampledSnapshots:
+    def _sampled_run(self, records, config, sink=None):
+        return Simulator(config).run(
+            records,
+            max_instructions=100_000,
+            label="snap",
+            snapshot_every=1_500,
+            snapshot_sink=sink,
+        )
+
+    def test_snapshots_carry_the_sampled_mode(self):
+        records = cached_workload_trace("health", seed=1,
+                                        instructions=100_000)
+        config = psb_config().with_sampling(period=20_000, window=1_000,
+                                            warmup=500)
+        snapshots = []
+        self._sampled_run(records, config, snapshots.append)
+        assert snapshots
+        assert all(s.mode == "sampled" for s in snapshots)
+
+    def test_detailed_snapshots_stay_detailed(self):
+        records = cached_workload_trace("health", seed=1,
+                                        instructions=3_000)
+        snapshots = []
+        Simulator(psb_config()).run(
+            records, max_instructions=3_000,
+            snapshot_every=500, snapshot_sink=snapshots.append,
+        )
+        assert snapshots
+        assert all(s.mode == "detailed" for s in snapshots)
+
+    def test_legacy_pickles_backfill_detailed_mode(self):
+        snapshot = SimSnapshot(b"payload", cycle=1, records_consumed=1,
+                               label="old")
+        state = snapshot.__getstate__()
+        del state["mode"]
+        revived = SimSnapshot.__new__(SimSnapshot)
+        revived.__setstate__(state)
+        assert revived.mode == "detailed"
+
+    def test_cross_mode_resume_refused_both_ways(self):
+        records = cached_workload_trace("health", seed=1,
+                                        instructions=100_000)
+        sampled_config = psb_config().with_sampling(
+            period=20_000, window=1_000, warmup=500
+        )
+        sampled_snaps, detailed_snaps = [], []
+        self._sampled_run(records, sampled_config, sampled_snaps.append)
+        Simulator(psb_config()).run(
+            records, max_instructions=3_000,
+            snapshot_every=500, snapshot_sink=detailed_snaps.append,
+        )
+        with pytest.raises(IntegrityError, match="sampled"):
+            resume_run(sampled_snaps[0], records)
+        with pytest.raises(IntegrityError, match="detailed"):
+            resume_sampled(detailed_snaps[0], records)
+
+    def test_resume_is_bit_identical(self):
+        records = cached_workload_trace("health", seed=1,
+                                        instructions=100_000)
+        config = psb_config().with_sampling(period=20_000, window=1_000,
+                                            warmup=500)
+        snapshots = []
+        whole = self._sampled_run(records, config, snapshots.append)
+        assert snapshots
+        for snapshot in (snapshots[0], snapshots[-1]):
+            resumed = resume_sampled(snapshot, records)
+            assert resumed.extra["resumed_from_cycle"] == float(
+                snapshot.cycle
+            )
+            assert _result_key(resumed) == _result_key(whole)
+
+
+# ----------------------------------------------------------------------
+# Campaign integration: process isolation, chaos, manifests
+# ----------------------------------------------------------------------
+
+
+def _sampled_spec(run_id, seed=1):
+    return RunSpec(
+        run_id=run_id,
+        config=psb_config().with_sampling(period=20_000, window=1_000,
+                                          warmup=500),
+        trace=WorkloadSpec("health", seed=seed),
+        max_instructions=60_000,
+        warmup_instructions=0,
+    )
+
+
+class TestSampledCampaigns:
+    def test_execute_spec_runs_sampled(self):
+        result = execute_spec(_sampled_spec("one"))
+        assert result.extra["sampled"] == 1.0
+        assert result.extra["windows"] >= 1.0
+
+    def test_manifest_marks_sampled_points(self, tmp_path):
+        campaign = CampaignRunner(
+            str(tmp_path), isolation="inline"
+        ).run([_sampled_spec("health/psb")])
+        point = campaign.manifest["metrics"]["health/psb"]
+        assert point["sampled"] is True
+        assert point["windows"] >= 1
+        assert "ipc_ci95" in point
+
+    @pytest.mark.slow
+    def test_chaos_killed_campaign_is_bit_identical(self, tmp_path):
+        specs = [_sampled_spec("p0", seed=1), _sampled_spec("p1", seed=2)]
+        clean = CampaignRunner(
+            str(tmp_path / "clean"), workers=2, isolation="process",
+            snapshot_every=1_500,
+        ).run(specs)
+        chaotic = CampaignRunner(
+            str(tmp_path / "chaos"), workers=2, isolation="process",
+            snapshot_every=1_500, backoff_base=0.0,
+            chaos=ChaosSpec(kill_points=(0,)),
+        ).run(specs)
+        assert chaotic.manifest["ok"] == 2
+        assert chaotic.manifest["chaos"]["counters"]["worker_kills"] >= 1
+        for run_id in ("p0", "p1"):
+            reference = clean.results[run_id]
+            survivor = chaotic.results[run_id]
+            assert (survivor.ipc, survivor.cycles,
+                    survivor.instructions) == (
+                reference.ipc, reference.cycles, reference.instructions
+            )
+            assert survivor.extra["windows"] == reference.extra["windows"]
+
+
+# ----------------------------------------------------------------------
+# The fast-forward engine and warming API
+# ----------------------------------------------------------------------
+
+
+class _RecordingPrefetcher(PrefetcherPort):
+    def __init__(self):
+        self.calls = []
+
+    def on_l1_miss(self, pc, addr, cycle, sb_hit):
+        self.calls.append((pc, addr, cycle, sb_hit))
+
+
+class TestFastForward:
+    def test_warm_l1_miss_defaults_to_on_l1_miss(self):
+        port = _RecordingPrefetcher()
+        port.warm_l1_miss(0x400, 0x8000)
+        assert port.calls == [(0x400, 0x8000, 0, False)]
+
+    def test_replay_counts_and_trace_exhaustion(self):
+        records = cached_workload_trace("health", seed=1,
+                                        instructions=5_000)
+        engine = FastForwardEngine(Simulator(psb_config()))
+        source = iter(records)
+        assert engine.replay(source, 3_000, 0) == 3_000
+        assert engine.instructions == 3_000
+        # Asking past the end reports the short pull.
+        assert engine.replay(source, 5_000, 0) == 2_000
+        assert engine.instructions == 5_000
+        assert engine.loads + engine.stores + engine.branches <= 5_000
+        assert engine.l1_misses <= engine.loads + engine.stores
+
+    def test_pending_record_replays_without_counting(self):
+        records = cached_workload_trace("health", seed=1,
+                                        instructions=100)
+        engine = FastForwardEngine(Simulator(psb_config()))
+        source = iter(records[1:])
+        pulled = engine.replay(source, 10, 0, pending=records[0])
+        assert pulled == 10
+        assert engine.instructions == 11
+
+    def test_quiesce_bounds_demand_prefetcher_queues(self):
+        simulator = Simulator(next_line_config())
+        prefetcher = simulator.hierarchy.prefetcher
+        engine = FastForwardEngine(simulator)
+        records = cached_workload_trace("gs", seed=1, instructions=50_000)
+        engine.replay(iter(records), 50_000, 0)
+        assert engine.l1_misses > prefetcher.buffer.entries
+        prefetcher.quiesce()
+        assert len(prefetcher._pending) <= prefetcher.buffer.entries
+
+    def test_sampled_run_on_no_prefetch_machine(self):
+        # The baseline machine has no prefetcher: warming must degrade
+        # to pure cache/branch warmth without errors.
+        records = cached_workload_trace("health", seed=1,
+                                        instructions=60_000)
+        config = baseline_config().with_sampling(period=20_000,
+                                                 window=1_000, warmup=500)
+        result = Simulator(config).run(records, max_instructions=60_000)
+        assert result.extra["windows"] == 3.0
+        assert result.ipc > 0
+
+
+# ----------------------------------------------------------------------
+# The golden-model fast path (compiled replay)
+# ----------------------------------------------------------------------
+
+
+def _golden_fields(stats):
+    return {
+        name: getattr(stats, name)
+        for name in dir(stats)
+        if not name.startswith("_")
+        and isinstance(getattr(stats, name), (int, float))
+    }
+
+
+class TestGoldenFastPath:
+    def test_compiled_replay_matches_record_replay(self, tmp_path):
+        records = cached_workload_trace("health", seed=1,
+                                        instructions=5_000)
+        path = str(tmp_path / "health.rtb")
+        compile_trace(path, iter(records), limit=5_000)
+        config = psb_config()
+        from_records = run_golden(config, records, max_instructions=5_000)
+        from_compiled = run_golden(config, path, max_instructions=5_000)
+        assert _golden_fields(from_records) == _golden_fields(from_compiled)

@@ -44,6 +44,7 @@ DOC_FILES = [
     "docs/robustness.md",
     "docs/service.md",
     "docs/performance.md",
+    "docs/buffer_sharing.md",
     "docs/extending.md",
     "docs/paper_mapping.md",
 ]

@@ -36,6 +36,11 @@ PUBLIC_MODULES = [
     "repro.runner.campaign",
     "repro.runner.chaos",
     "repro.runner.audit",
+    "repro.streambuf.buffer",
+    "repro.streambuf.allocation",
+    "repro.streambuf.scheduling",
+    "repro.streambuf.sharing",
+    "repro.streambuf.controller",
     "repro.obs",
     "repro.obs.metrics",
     "repro.obs.tracing",

@@ -85,6 +85,25 @@ echo "smoke: observability reports render"
 rm -rf "$obs_dir"
 
 echo
+echo "== buffer-sharing mini-sweep (fixed vs harmonic) + report =="
+sharing_dir="$(mktemp -d)"
+python -m repro sweep many_streams --machines psb,psb-harmonic \
+    --instructions 4000 --warmup 1000 --no-isolate \
+    --campaign-dir "$sharing_dir/camp"
+python -m repro report --campaign "$sharing_dir/camp" \
+    --out "$sharing_dir/sharing.md"
+grep -q 'psb-harmonic' "$sharing_dir/sharing.md"
+python -m repro run many_streams --machine psb --buffer-sharing harmonic \
+    --instructions 4000 --warmup 1000 \
+    --metrics --metrics-out "$sharing_dir/metrics.json"
+python -m repro report --metrics "$sharing_dir/metrics.json" \
+    --out "$sharing_dir/pool.md"
+grep -q '## Buffer sharing (entry pool)' "$sharing_dir/pool.md"
+grep -q 'free credit' "$sharing_dir/pool.md"
+echo "smoke: buffer-sharing sweep + pool report render"
+rm -rf "$sharing_dir"
+
+echo
 echo "== docs: links, snippets, documented commands, docstrings =="
 python scripts/check_docs.py --run
 python scripts/check_docstrings.py

@@ -27,7 +27,7 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.analysis.report import ascii_table
-from repro.config import InvariantLevel, SimConfig
+from repro.config import BufferSharing, InvariantLevel, SimConfig
 from repro.errors import ConfigError, ReproError
 from repro.sim import baseline_config, paper_configs, simulate
 from repro.sim.presets import (
@@ -35,6 +35,7 @@ from repro.sim.presets import (
     min_delta_config,
     next_line_config,
     sequential_config,
+    sharing_configs,
 )
 from repro.trace.io import save_trace
 from repro.workloads import WORKLOADS, get_workload, workload_names
@@ -47,6 +48,11 @@ MACHINES: Dict[str, Callable[[], SimConfig]] = {
     "2miss-priority": lambda: paper_configs()["2Miss-Priority"],
     "confalloc-rr": lambda: paper_configs()["ConfAlloc-RR"],
     "psb": lambda: paper_configs()["ConfAlloc-Priority"],
+    # PSB with the stream-buffer entries shared as one online-allocated
+    # pool instead of the paper's fixed 8 x 4 partition (see
+    # docs/buffer_sharing.md); equivalently `--buffer-sharing` on run.
+    "psb-harmonic": lambda: sharing_configs()["harmonic"],
+    "psb-credence": lambda: sharing_configs()["credence"],
     "jouppi": sequential_config,
     "min-delta": min_delta_config,
     "next-line": next_line_config,
@@ -107,9 +113,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--trace-filter", default=None, metavar="CATS",
         help="comma-separated event categories to keep "
-             "(alloc,prefetch,priority,demand,integrity; default: all)",
+             "(alloc,prefetch,priority,demand,integrity,pool; "
+             "default: all)",
     )
     _add_sample_argument(run)
+    _add_sharing_arguments(run)
 
     compare = commands.add_parser(
         "compare", help="run all six Figure 5 machines on one workload"
@@ -308,6 +316,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "model (requires --warmup 0)",
     )
     _add_sample_argument(sweep)
+    _add_sharing_arguments(sweep)
     sweep.add_argument(
         "--chaos-seed", type=int, default=None, metavar="SEED",
         help="inject a deterministic, seeded schedule of environment "
@@ -506,6 +515,38 @@ def _add_run_arguments(
     )
 
 
+def _add_sharing_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--buffer-sharing", choices=("fixed", "harmonic", "credence"),
+        default="fixed", metavar="POLICY",
+        help="stream-buffer entry ownership: 'fixed' is the paper's "
+             "static 8x4 partition (default, bit-identical to older "
+             "releases); 'harmonic' and 'credence' share the entries as "
+             "one online-allocated pool (see docs/buffer_sharing.md)",
+    )
+    parser.add_argument(
+        "--pool-entries", type=int, default=None, metavar="N",
+        help="shared-pool capacity for the pooled sharing policies "
+             "(default: num_buffers x entries_per_buffer = 32; ignored "
+             "under 'fixed')",
+    )
+
+
+def _apply_sharing(args: argparse.Namespace, config: SimConfig) -> SimConfig:
+    """Fold the ``--buffer-sharing`` flags into a machine config."""
+    sharing = getattr(args, "buffer_sharing", "fixed")
+    pool_entries = getattr(args, "pool_entries", None)
+    if sharing == "fixed" and pool_entries is None:
+        return config
+    if pool_entries is not None and sharing == "fixed":
+        raise ConfigError(
+            "--pool-entries only applies to the pooled sharing policies; "
+            "pick --buffer-sharing harmonic or credence",
+            field="buffer_sharing",
+        )
+    return config.with_sharing(BufferSharing(sharing), pool_entries)
+
+
 def _add_sample_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--sample", default=None, metavar="PERIOD:WINDOW:WARMUP",
@@ -589,7 +630,9 @@ def _command_run(args: argparse.Namespace) -> int:
             "cannot contain malformed records)",
             field="run.lax",
         )
-    config = _apply_sample(args, _config_of(args, args.machine))
+    config = _apply_sample(
+        args, _apply_sharing(args, _config_of(args, args.machine))
+    )
     if args.metrics:
         config = config.with_metrics(args.metrics_interval)
     event_trace = None
@@ -828,7 +871,7 @@ def _command_bench(args: argparse.Namespace) -> int:
         run_bench,
         write_report,
     )
-    from repro.workloads import POINTER_WORKLOADS
+    from repro.workloads import PAPER_WORKLOADS, POINTER_WORKLOADS
 
     if args.workloads is not None:
         workloads = [
@@ -840,7 +883,10 @@ def _command_bench(args: argparse.Namespace) -> int:
     elif args.quick:
         workloads = list(POINTER_WORKLOADS)
     else:
-        workloads = workload_names()
+        # Paper benchmarks only: the perf baselines were captured on the
+        # six Table 1 stand-ins, and extension workloads must not widen
+        # the gate's scope implicitly.
+        workloads = list(PAPER_WORKLOADS)
     instructions = args.instructions
     if args.quick and args.instructions == 50_000:
         instructions = 10_000
@@ -1013,7 +1059,9 @@ def _command_sweep(args: argparse.Namespace) -> int:
     specs = [
         RunSpec(
             run_id=f"{args.workload}/{name}",
-            config=_apply_sample(args, _config_of(args, name)),
+            config=_apply_sample(
+                args, _apply_sharing(args, _config_of(args, name))
+            ),
             trace=WorkloadSpec(args.workload, seed=args.seed),
             max_instructions=args.instructions,
             warmup_instructions=_warmup_of(args),

@@ -77,6 +77,21 @@ class SchedulingPolicy(Enum):
     PRIORITY = "priority"
 
 
+class BufferSharing(Enum):
+    """How stream-buffer entries are partitioned across streams.
+
+    ``FIXED`` is the paper's static partition (each buffer owns
+    ``entries_per_buffer`` slots) and is bit-identical to the
+    pre-sharing simulator.  ``HARMONIC`` and ``CREDENCE`` treat the
+    entries as one shared pool allocated online across streams — see
+    :mod:`repro.streambuf.sharing`.
+    """
+
+    FIXED = "fixed"
+    HARMONIC = "harmonic"
+    CREDENCE = "credence"
+
+
 @dataclass(frozen=True)
 class CacheConfig:
     """Geometry and latency of one cache level."""
@@ -279,6 +294,16 @@ class StreamBufferConfig:
     #: overlapping streams; disabling the check lets duplicate blocks be
     #: prefetched twice (an ablation knob).
     check_overlap: bool = True
+    #: Beyond the paper: how entries are partitioned across streams.
+    #: ``FIXED`` (the default) reproduces the paper's 8 x 4 exactly;
+    #: the pooled policies share one entry pool online
+    #: (:mod:`repro.streambuf.sharing`).
+    sharing: BufferSharing = BufferSharing.FIXED
+    #: Shared-pool capacity for the pooled sharing policies.  ``None``
+    #: (the default) sizes the pool at ``num_buffers *
+    #: entries_per_buffer`` — the same silicon as the fixed partition.
+    #: Ignored under ``FIXED`` sharing.
+    pool_entries: Optional[int] = None
 
     def __post_init__(self) -> None:
         owner = "StreamBufferConfig"
@@ -286,6 +311,10 @@ class StreamBufferConfig:
         _require(
             self.entries_per_buffer > 0,
             owner, "entries_per_buffer", "must be positive",
+        )
+        _require(
+            self.pool_entries is None or self.pool_entries > 0,
+            owner, "pool_entries", "must be positive when set",
         )
         _require(
             self.confidence_threshold >= 0,
@@ -298,6 +327,13 @@ class StreamBufferConfig:
             self.priority_age_period > 0,
             owner, "priority_age_period", "must be positive",
         )
+
+    @property
+    def pool_size(self) -> int:
+        """Shared-pool capacity: ``pool_entries`` or the full 8 x 4."""
+        if self.pool_entries is not None:
+            return self.pool_entries
+        return self.num_buffers * self.entries_per_buffer
 
 
 @dataclass(frozen=True)
@@ -468,6 +504,23 @@ class SimConfig:
     def with_prefetcher(self, prefetch: PrefetchConfig) -> "SimConfig":
         """Return a copy of this config using ``prefetch``."""
         return replace(self, prefetch=prefetch)
+
+    def with_sharing(
+        self, sharing: BufferSharing, pool_entries: Optional[int] = None
+    ) -> "SimConfig":
+        """Return a copy using ``sharing`` for stream-buffer entries.
+
+        ``pool_entries`` overrides the shared-pool capacity; ``None``
+        keeps the default (``num_buffers * entries_per_buffer``).
+        """
+        buffers = replace(
+            self.prefetch.stream_buffers,
+            sharing=sharing,
+            pool_entries=pool_entries,
+        )
+        return replace(
+            self, prefetch=replace(self.prefetch, stream_buffers=buffers)
+        )
 
     def with_l1(self, size_bytes: int, associativity: int) -> "SimConfig":
         """Return a copy with a resized L1 data cache (Figure 10 sweep)."""

@@ -12,7 +12,10 @@ timing model can state exactly:
 - **Stream buffers** — an unallocated buffer holds no entries and no
   stream state; occupied entries never exceed capacity; with overlap
   checking enabled no block is resident in two buffers at once; the
-  LRU timestamp never runs ahead of the simulation clock.
+  LRU timestamp never runs ahead of the simulation clock.  Under a
+  pooled sharing policy, pool conservation too: entries owned across
+  all buffers equal the pool's allocated count, never exceed the pool
+  size, and no entry object is owned by two streams at once.
 - **Saturating counters** — priority/confidence values stay inside
   their ``[minimum, maximum]`` bounds.
 - **Caches** — no set holds more blocks than its associativity, and
@@ -174,12 +177,54 @@ def check_stream_buffers(
     ``check_overlap`` defaults to the controller's own configuration:
     only architectures that forbid overlapping streams (Section 4.1)
     promise the cross-buffer uniqueness invariant.
+
+    Under a pooled sharing policy (:mod:`repro.streambuf.sharing`) the
+    pool-conservation laws are checked as well: entries owned across all
+    buffers equal the pool's allocated count and never exceed its size,
+    and no entry object is owned by two buffers at once.
     """
     buffers = getattr(controller, "buffers", None)
     if buffers is None:  # demand-based prefetchers have no buffers
         return
     if check_overlap is None:
         check_overlap = controller.config.check_overlap
+    pool = getattr(controller, "pool", None)
+    if pool is not None:
+        owner_of_entry: Dict[int, int] = {}
+        owned = 0
+        for buffer in buffers:
+            owned += len(buffer.entries)
+            for entry in buffer.entries:
+                previous = owner_of_entry.get(id(entry))
+                if previous is not None:
+                    _fail(
+                        "streambuf.pool.ownership",
+                        f"one entry object owned by buffers {previous} "
+                        f"and {buffer.index}",
+                        cycle,
+                        {"buffers": [previous, buffer.index]},
+                    )
+                owner_of_entry[id(entry)] = buffer.index
+        if owned != pool.allocated:
+            _fail(
+                "streambuf.pool.conservation",
+                f"buffers own {owned} entries but the pool accounts for "
+                f"{pool.allocated}",
+                cycle,
+                {
+                    "owned": owned,
+                    "allocated": pool.allocated,
+                    "per_buffer": [len(b.entries) for b in buffers],
+                },
+            )
+        if pool.allocated > pool.size or pool.allocated < 0:
+            _fail(
+                "streambuf.pool.capacity",
+                f"{pool.allocated} entries allocated from a "
+                f"{pool.size}-entry pool",
+                cycle,
+                {"allocated": pool.allocated, "size": pool.size},
+            )
     owner_of_block: Dict[int, int] = {}
     for buffer in buffers:
         name = f"streambuf[{buffer.index}]"

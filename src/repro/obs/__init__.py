@@ -233,6 +233,13 @@ def _wire_prefetcher(metrics: MetricsRegistry, controller: Any) -> None:
             metrics, "scheduler", scheduler,
             ("prediction_grants", "prefetch_grants"),
         )
+    pool = getattr(controller, "pool", None)
+    if pool is not None:
+        metrics.probe("pool", "allocated", lambda p=pool: float(p.allocated))
+        _probe_attrs(
+            metrics, "pool", pool,
+            ("acquires", "steals", "denials", "releases", "evicted_inflight"),
+        )
     for buffer in getattr(controller, "buffers", ()):
         component = f"sb{buffer.index}"
         metrics.probe(

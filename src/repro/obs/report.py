@@ -145,6 +145,7 @@ def run_report(
     out.extend(_section_sampling(result))
     out.extend(_section_hit_rates(final, result))
     out.extend(_section_stream_buffers(payload, final))
+    out.extend(_section_buffer_sharing(payload, final))
     out.extend(_section_bus(payload, final))
     out.extend(_section_predictor(payload, final))
     out.extend(_section_latency(payload))
@@ -326,6 +327,43 @@ def _section_stream_buffers(
         width = max(len(b) for b, _ in traces)
         for b, spark in traces:
             lines.append(f"{b:<{width}}  {spark}")
+        lines.append("```")
+        lines.append("")
+    return lines
+
+
+def _section_buffer_sharing(
+    payload: Dict[str, Any], final: Dict[str, float]
+) -> List[str]:
+    """The shared-pool panel, present only under a pooled sharing policy.
+
+    Fixed partitioning registers no ``pool.*`` metrics, so the section
+    disappears rather than showing a table of zeros.
+    """
+    if "pool.allocated" not in final:
+        return []
+    grants = final.get("pool.acquires", 0) + final.get("pool.steals", 0)
+    rows = [
+        ("Entries in use", _fmt(final.get("pool.allocated", 0))),
+        ("Grants from free credit", _fmt(final.get("pool.acquires", 0))),
+        ("Grants by eviction (steals)", _fmt(final.get("pool.steals", 0))),
+        ("Requests denied", _fmt(final.get("pool.denials", 0))),
+        ("Entries released", _fmt(final.get("pool.releases", 0))),
+        ("Live prefetches evicted", _fmt(final.get("pool.evicted_inflight", 0))),
+        (
+            "Steal share of grants",
+            _pct(final.get("pool.steals", 0), grants or 1),
+        ),
+    ]
+    lines = ["## Buffer sharing (entry pool)", ""]
+    lines.extend(_table(("Pool statistic", "Value"), rows))
+    lines.append("")
+    series = _series(payload, "pool.allocated")
+    if len(series) >= 2:
+        lines.append("Pool occupancy trace (sampled):")
+        lines.append("")
+        lines.append("```")
+        lines.append(sparkline([v for _, v in series]))
         lines.append("```")
         lines.append("")
     return lines

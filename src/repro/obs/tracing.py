@@ -30,8 +30,9 @@ from repro.errors import ConfigError
 #: Every event category the simulator emits.  ``alloc``: stream-buffer
 #: allocation decisions; ``prefetch``: issue/fill/hit/drop lifecycle;
 #: ``priority``: counter bumps and agings; ``demand``: demand L1 misses;
-#: ``integrity``: invariant-checker sweeps.
-CATEGORIES = ("alloc", "prefetch", "priority", "demand", "integrity")
+#: ``integrity``: invariant-checker sweeps; ``pool``: shared entry-pool
+#: steals under a pooled buffer-sharing policy.
+CATEGORIES = ("alloc", "prefetch", "priority", "demand", "integrity", "pool")
 
 #: Default ring capacity: large enough to hold every event of a typical
 #: 50k-instruction run, small enough to stay out of memory trouble.

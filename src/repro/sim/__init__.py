@@ -5,21 +5,24 @@ from repro.sim.presets import (
     paper_configs,
     prefetch_config,
     psb_config,
+    sharing_configs,
     stride_config,
 )
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import Simulator, simulate
-from repro.sim.sweep import cache_sweep, run_configs
+from repro.sim.sweep import cache_sweep, run_configs, sharing_sweep
 
 __all__ = [
     "baseline_config",
     "paper_configs",
     "prefetch_config",
     "psb_config",
+    "sharing_configs",
     "stride_config",
     "SimulationResult",
     "Simulator",
     "simulate",
     "cache_sweep",
     "run_configs",
+    "sharing_sweep",
 ]

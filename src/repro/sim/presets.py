@@ -11,10 +11,11 @@ Section 6 compares six configurations on every benchmark:
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.config import (
     AllocationPolicy,
+    BufferSharing,
     PrefetchConfig,
     PrefetcherKind,
     SchedulingPolicy,
@@ -96,6 +97,25 @@ def next_line_config() -> SimConfig:
 def demand_markov_config() -> SimConfig:
     """Joseph & Grunwald's demand-based Markov prefetcher (Section 3.2)."""
     return SimConfig(prefetch=PrefetchConfig(kind=PrefetcherKind.DEMAND_MARKOV))
+
+
+def sharing_configs(
+    pool_entries: Optional[int] = None,
+) -> Dict[str, SimConfig]:
+    """The buffer-sharing comparison: one PSB machine per policy.
+
+    All three run the paper's best machine (ConfAlloc-Priority); only
+    the entry-ownership policy differs.  ``fixed`` is bit-identical to
+    :func:`psb_config`, the pooled policies share ``pool_entries``
+    entries (default: the same 8 x 4 = 32 the fixed partition owns).
+    See :mod:`repro.streambuf.sharing` and ``docs/buffer_sharing.md``.
+    """
+    base = psb_config()
+    return {
+        "fixed": base.with_sharing(BufferSharing.FIXED, pool_entries),
+        "harmonic": base.with_sharing(BufferSharing.HARMONIC, pool_entries),
+        "credence": base.with_sharing(BufferSharing.CREDENCE, pool_entries),
+    }
 
 
 def paper_configs() -> Dict[str, SimConfig]:

@@ -98,6 +98,34 @@ def run_configs(
     return _run_specs(specs, runner, workers)
 
 
+def sharing_sweep(
+    trace_factory: TraceFactory,
+    max_instructions: Optional[int] = None,
+    warmup_instructions: int = 0,
+    pool_entries: Optional[int] = None,
+    runner: Optional[CampaignRunner] = None,
+    workers: int = 1,
+) -> Dict[str, SimulationResult]:
+    """Run the fixed-vs-harmonic-vs-credence comparison on one workload.
+
+    One PSB machine per buffer-sharing policy
+    (:func:`repro.sim.presets.sharing_configs`); feed the returned dict
+    to :func:`repro.analysis.comparison_report` with
+    ``baseline_label="fixed"`` to render the comparison table of
+    ``docs/buffer_sharing.md``.
+    """
+    from repro.sim.presets import sharing_configs
+
+    return run_configs(
+        sharing_configs(pool_entries),
+        trace_factory,
+        max_instructions=max_instructions,
+        warmup_instructions=warmup_instructions,
+        runner=runner,
+        workers=workers,
+    )
+
+
 def cache_sweep(
     base_config: SimConfig,
     trace_factory: TraceFactory,

@@ -8,7 +8,10 @@ evaluation by composing three orthogonal pieces:
 - an **allocation filter** (always / two-miss / confidence) deciding which
   missing loads get a buffer;
 - a **scheduler** (round-robin / priority counters) arbitrating the shared
-  predictor port and the L1-L2 bus.
+  predictor port and the L1-L2 bus;
+- a **sharing policy** (fixed / harmonic / credence) deciding whether the
+  entry capacity is statically partitioned as in the paper or shared as
+  one online-allocated pool (:mod:`repro.streambuf.sharing`).
 """
 
 from repro.streambuf.allocation import (
@@ -30,6 +33,14 @@ from repro.streambuf.scheduling import (
     Scheduler,
     make_scheduler,
 )
+from repro.streambuf.sharing import (
+    CredenceSharing,
+    EntryPool,
+    FixedSharing,
+    HarmonicSharing,
+    SharingPolicy,
+    make_sharing_policy,
+)
 
 __all__ = [
     "AllocationFilter",
@@ -47,4 +58,10 @@ __all__ = [
     "RoundRobinScheduler",
     "Scheduler",
     "make_scheduler",
+    "CredenceSharing",
+    "EntryPool",
+    "FixedSharing",
+    "HarmonicSharing",
+    "SharingPolicy",
+    "make_sharing_policy",
 ]

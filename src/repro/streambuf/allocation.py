@@ -35,8 +35,10 @@ class AllocationFilter(ABC):
         """Return the buffer to (re)allocate, or None to deny allocation."""
 
     def admits(self, pc: int, predictor: AddressPredictor) -> bool:
-        """Admission only (no victim choice): may this load restart a
-        stream it already owns?"""
+        """May this load restart a stream it already owns?
+
+        Admission only — no victim choice is involved.
+        """
         return True
 
 

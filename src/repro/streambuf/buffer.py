@@ -1,8 +1,11 @@
 """A single stream buffer and its entries (Section 4.1).
 
-Each of the 8 buffers holds 4 entries and the per-stream prediction
-history (:class:`~repro.predictors.base.StreamState`).  Entries move
-through a small lifecycle::
+Each of the 8 buffers holds its entries and the per-stream prediction
+history (:class:`~repro.predictors.base.StreamState`).  Under the
+paper's fixed partitioning every buffer statically owns 4 entries;
+under a pooled sharing policy (:mod:`repro.streambuf.sharing`) the
+``entries`` list grows and shrinks as the stream acquires and releases
+pool credit.  Entries move through a small lifecycle::
 
     FREE -> PREDICTED -> IN_FLIGHT -> READY -> (hit) FREE
 
@@ -20,6 +23,8 @@ from repro.predictors.saturating import SaturatingCounter
 
 
 class EntryState(Enum):
+    """Lifecycle state of one stream-buffer entry."""
+
     FREE = "free"
     PREDICTED = "predicted"  # has an address, waiting for the bus
     IN_FLIGHT = "in-flight"  # prefetch issued, data not yet back
@@ -38,11 +43,13 @@ class StreamBufferEntry:
         self.predicted_cycle = 0
 
     def hold_prediction(self, block: int, cycle: int) -> None:
+        """Latch a predicted block address, waiting for the bus."""
         self.state = EntryState.PREDICTED
         self.block = block
         self.predicted_cycle = cycle
 
     def mark_in_flight(self, ready_cycle: int) -> None:
+        """The prefetch launched; data arrives at ``ready_cycle``."""
         self.state = EntryState.IN_FLIGHT
         self.ready_cycle = ready_cycle
 
@@ -52,6 +59,7 @@ class StreamBufferEntry:
             self.state = EntryState.READY
 
     def clear(self) -> None:
+        """Reset to FREE, dropping any held block."""
         self.state = EntryState.FREE
         self.block = 0
         self.ready_cycle = 0
@@ -59,6 +67,7 @@ class StreamBufferEntry:
 
     @property
     def occupied(self) -> bool:
+        """True when this entry holds a block in any non-FREE state."""
         return self.state != EntryState.FREE
 
     def __repr__(self) -> str:
@@ -101,6 +110,7 @@ class StreamBuffer:
         self.tlb_page = None
 
     def deallocate(self) -> None:
+        """Release this buffer: drop the stream and clear every entry."""
         for entry in self.entries:
             entry.clear()
         self.state = None
@@ -162,6 +172,7 @@ class StreamBuffer:
 
     @property
     def occupied_entries(self) -> int:
+        """Number of entries currently holding a block (queue depth)."""
         return sum(1 for entry in self.entries if entry.occupied)
 
     def note_hit(self, cycle: int, bonus: int) -> None:

@@ -32,6 +32,7 @@ from repro.predictors.stride import TwoDeltaStrideTable
 from repro.streambuf.allocation import AllocationFilter, make_allocation_filter
 from repro.streambuf.buffer import EntryState, StreamBuffer
 from repro.streambuf.scheduling import Scheduler, make_scheduler
+from repro.streambuf.sharing import SharingPolicy, make_sharing_policy
 
 
 class SequentialPredictor(AddressPredictor):
@@ -41,12 +42,15 @@ class SequentialPredictor(AddressPredictor):
         self.block_size = block_size
 
     def train(self, pc: int, address: int) -> bool:
+        """Sequential streaming learns nothing from misses."""
         return False
 
     def make_stream_state(self, pc: int, address: int) -> StreamState:
+        """A stream that walks forward one block at a time."""
         return StreamState(pc, address, stride=self.block_size)
 
     def next_prediction(self, state: StreamState) -> Optional[int]:
+        """Advance the stream to the next sequential block."""
         state.last_address += self.block_size
         return state.last_address
 
@@ -67,10 +71,19 @@ class StreamBufferController(PrefetcherPort):
         self.config = config
         self.predictor = predictor
         self.block_size = block_size
+        #: Entry-ownership policy (fixed partition or shared pool); see
+        #: :mod:`repro.streambuf.sharing`.  Under a pooled policy the
+        #: buffers start empty and grow on demand from ``self.pool``.
+        self.sharing: SharingPolicy = make_sharing_policy(config)
+        initial_entries = 0 if self.sharing.pooled else config.entries_per_buffer
         self.buffers: List[StreamBuffer] = [
-            StreamBuffer(i, config.entries_per_buffer, config.priority_max)
+            StreamBuffer(i, initial_entries, config.priority_max)
             for i in range(config.num_buffers)
         ]
+        self.sharing.bind(self)
+        #: The shared :class:`~repro.streambuf.sharing.EntryPool`, or
+        #: ``None`` under fixed partitioning.
+        self.pool = self.sharing.pool
         self.allocation_filter: AllocationFilter = make_allocation_filter(config)
         self.scheduler: Scheduler = make_scheduler(config)
         self.hierarchy: Optional[MemoryHierarchy] = None
@@ -133,11 +146,13 @@ class StreamBufferController(PrefetcherPort):
                 # Tag present but the prefetch never launched; let the
                 # demand miss fetch it and drop the stale prediction.
                 entry.clear()
+                self.sharing.release_entry(buffer, entry)
                 self.predicted_overtaken += 1
                 self._predict_skip = False
                 return None
             ready = entry.ready_cycle
             entry.clear()
+            self.sharing.release_entry(buffer, entry)
             buffer.note_hit(cycle, self.config.priority_hit_bonus)
             self.prefetches_used += 1
             self._predict_skip = False  # a freed entry can take a prediction
@@ -229,6 +244,11 @@ class StreamBufferController(PrefetcherPort):
                 self._emit_alloc_denied(cycle, pc, "no-victim")
                 return
         self._discard_unused(victim)
+        # Return the victim's pooled entries *before* the new stream
+        # claims the buffer: the freed credit must be available to the
+        # same cycle's allocation and prediction passes, not the next
+        # one.  (Under fixed sizing this is a no-op either way.)
+        self.sharing.release_stream(victim)
         state = self.predictor.make_stream_state(pc, block)
         victim.allocate(state, cycle, priority=state.confidence)
         self.allocations += 1
@@ -258,6 +278,7 @@ class StreamBufferController(PrefetcherPort):
     # ------------------------------------------------------------------
 
     def tick(self, cycle: int) -> None:
+        """One controller cycle: refresh fills, predict once, prefetch once."""
         if not self._any_allocated:
             return
         if cycle >= self._next_refresh:
@@ -304,8 +325,9 @@ class StreamBufferController(PrefetcherPort):
 
     def _predict_one(self, cycle: int) -> None:
         epoch = self._training_epoch
+        sharing = self.sharing
         buffer = self.scheduler.pick_for_prediction(
-            self.buffers, lambda b: b.wants_prediction(epoch)
+            self.buffers, lambda b: sharing.wants_prediction(b, epoch)
         )
         if buffer is None or buffer.state is None:
             # Nothing can take a prediction; skip until an entry frees,
@@ -325,7 +347,7 @@ class StreamBufferController(PrefetcherPort):
                     # prediction (history already advanced — Section 4.1).
                     self.duplicate_predictions += 1
                     return
-        entry = buffer.free_entry()
+        entry = self.sharing.take_entry(buffer, cycle)
         if entry is not None:
             entry.hold_prediction(block, cycle)
             self._prefetch_skip = False  # fresh work for the bus
@@ -360,6 +382,7 @@ class StreamBufferController(PrefetcherPort):
                     buffer=buffer.index, block=entry.block,
                 )
             entry.clear()
+            self.sharing.release_entry(buffer, entry)
             self._predict_skip = False
             return
         self.prefetches_issued += 1
@@ -393,6 +416,8 @@ class StreamBufferController(PrefetcherPort):
         self.allocations = 0
         self.allocations_denied = 0
         self.predicted_overtaken = 0
+        if self.pool is not None:
+            self.pool.reset_stats()
 
 
 def build_prefetcher(config: PrefetchConfig, block_size: int):

@@ -45,8 +45,8 @@ class Scheduler(ABC):
 
 
 class RoundRobinScheduler(Scheduler):
-    """Equal chances: separate rotating pointers for prediction and
-    prefetching, as described in the paper."""
+    """Equal chances for every buffer, as described in the paper:
+    separate rotating pointers for prediction and prefetching."""
 
     def __init__(self) -> None:
         super().__init__()

@@ -7,6 +7,12 @@ generator here reproduces the *memory behaviour* the paper attributes to
 its program: the kind of address streams (stride vs. Markov-predictable
 vs. thrash-inducing), the instruction mix, and the working-set size
 relative to the 32 KB L1.  See DESIGN.md for the substitution argument.
+
+Beyond the paper's six, ``many_streams`` is an adversarial generator for
+the buffer-sharing study (``docs/buffer_sharing.md``): predictable
+streams with heavily skewed lookahead demand that thrash the fixed
+8 x 4 entry partition.  ``PAPER_WORKLOADS`` names the paper's six for
+code that should not pick up extension workloads.
 """
 
 from repro.workloads.base import HeapModel, PcAllocator, WorkloadGenerator
@@ -20,6 +26,7 @@ from repro.workloads.cache import (
     reset_cache_stats,
 )
 from repro.workloads.registry import (
+    PAPER_WORKLOADS,
     POINTER_WORKLOADS,
     WORKLOADS,
     get_workload,
@@ -31,6 +38,7 @@ __all__ = [
     "HeapModel",
     "PcAllocator",
     "WorkloadGenerator",
+    "PAPER_WORKLOADS",
     "POINTER_WORKLOADS",
     "WORKLOADS",
     "cache_dir",

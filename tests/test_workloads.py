@@ -1,4 +1,4 @@
-"""Tests for the six benchmark stand-ins."""
+"""Tests for the benchmark stand-ins (paper's six plus extensions)."""
 
 import itertools
 
@@ -7,6 +7,7 @@ import pytest
 from repro.trace.record import InstrKind
 from repro.trace.stream import profile
 from repro.workloads import (
+    PAPER_WORKLOADS,
     WORKLOADS,
     get_workload,
     get_workload_generator,
@@ -62,10 +63,17 @@ class TestEmitter:
 
 
 class TestRegistry:
-    def test_six_workloads(self):
+    def test_registered_workloads(self):
         assert workload_names() == [
             "health", "burg", "deltablue", "gs", "sis", "turb3d",
+            "many_streams",
         ]
+
+    def test_paper_workloads_are_the_six(self):
+        assert PAPER_WORKLOADS == (
+            "health", "burg", "deltablue", "gs", "sis", "turb3d",
+        )
+        assert set(PAPER_WORKLOADS) < set(workload_names())
 
     def test_unknown_name_raises(self):
         with pytest.raises(KeyError):

@@ -110,11 +110,11 @@ def main() -> int:
     try:
         sys.path.insert(0, SRC)
         from repro.runner.campaign import CampaignRunner
-        from repro.service import job_id_of, normalize_spec
+        from repro.service import current_rev, job_id_of, normalize_spec
         from repro.service.http import build_campaign
 
         spec = normalize_spec(spec_payload)
-        job_id = job_id_of(spec)
+        job_id = job_id_of(spec, current_rev())
         run_dir = os.path.join(service_dir, "runs", job_id)
 
         print("== reference: uninterrupted serial campaign ==", flush=True)

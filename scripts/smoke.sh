@@ -100,8 +100,31 @@ python -m repro report --metrics "$sharing_dir/metrics.json" \
     --out "$sharing_dir/pool.md"
 grep -q '## Buffer sharing (entry pool)' "$sharing_dir/pool.md"
 grep -q 'free credit' "$sharing_dir/pool.md"
+python -m repro run many_streams --machine psb --buffer-sharing harmonic \
+    --pool-entries 24 --instructions 4000 --warmup 1000 \
+    --metrics --metrics-out "$sharing_dir/metrics24.json"
+python - "$sharing_dir/metrics24.json" <<'EOF'
+import json, sys
+final = json.load(open(sys.argv[1]))["final"]
+assert final["pool.allocated"] == 24.0, final["pool.allocated"]
+print("smoke: --pool-entries preset point ran with",
+      int(final["pool.allocated"]), "pooled entries")
+EOF
 echo "smoke: buffer-sharing sweep + pool report render"
 rm -rf "$sharing_dir"
+
+echo
+echo "== matched-pair sampled sweep + paired report panel =="
+paired_dir="$(mktemp -d)"
+python -m repro sweep health --machines base,psb \
+    --instructions 120000 --sample 40000:1000:500 --sample-paired \
+    --campaign-dir "$paired_dir/camp"
+python -m repro report --campaign "$paired_dir/camp" \
+    --out "$paired_dir/paired.md"
+grep -q '## Paired sampling' "$paired_dir/paired.md"
+grep -q 'window grid' "$paired_dir/paired.md"
+echo "smoke: paired sampled sweep + report panel render"
+rm -rf "$paired_dir"
 
 echo
 echo "== docs: links, snippets, documented commands, docstrings =="

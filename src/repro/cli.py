@@ -123,6 +123,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "compare", help="run all six Figure 5 machines on one workload"
     )
     _add_run_arguments(compare)
+    _add_sample_argument(compare)
+    compare.add_argument(
+        "--paired-out", default=None, metavar="PATH",
+        help="with --sample: write the matched-pair comparison "
+             "(PairedResult manifest) as JSON to PATH; 'repro-sim "
+             "report' renders it as a Paired sampling panel",
+    )
 
     trace = commands.add_parser(
         "trace",
@@ -203,15 +210,22 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--sampling", action="store_true",
         help="run the sampling suite instead: each workload detailed vs "
-             "SMARTS-sampled, gating on detailed bit-identity, sampled "
-             "IPC error, and effective speedup (defaults: machine psb, "
-             "1000000 instructions, out BENCH_sampling.json)",
+             "SMARTS-sampled (classic, tuned, and matched-pair legs), "
+             "gating on detailed bit-identity, tuned IPC error, paired "
+             "relative-IPC error, and effective speedup (defaults: "
+             "machine psb, 1000000 instructions, out BENCH_sampling.json)",
     )
     _add_sample_argument(bench)
     bench.add_argument(
-        "--error-bound", type=float, default=0.20, metavar="FRACTION",
-        help="with --sampling: stated |IPC error| bound stamped into "
-             "the report (default: 0.20)",
+        "--error-bound", type=float, default=0.10, metavar="FRACTION",
+        help="with --sampling: stated |IPC error| bound for the tuned "
+             "(stratified + warm-confidence) leg stamped into the report "
+             "(default: 0.10)",
+    )
+    bench.add_argument(
+        "--paired-bound", type=float, default=0.05, metavar="FRACTION",
+        help="with --sampling: stated |relative-IPC error| bound for the "
+             "matched-pair leg stamped into the report (default: 0.05)",
     )
     bench.add_argument(
         "--speedup-floor", type=float, default=10.0, metavar="X",
@@ -316,6 +330,14 @@ def _build_parser() -> argparse.ArgumentParser:
              "model (requires --warmup 0)",
     )
     _add_sample_argument(sweep)
+    sweep.add_argument(
+        "--sample-paired", action="store_true",
+        help="with --sample: run the machines as a matched-pair "
+             "comparison over one shared window grid (cancels the "
+             "fast-forward cold-start bias in relative IPC; the first "
+             "machine — or 'base' if selected — is the baseline leg); "
+             "runs inline, writes paired.json into --campaign-dir",
+    )
     _add_sharing_arguments(sweep)
     sweep.add_argument(
         "--chaos-seed", type=int, default=None, metavar="SEED",
@@ -555,6 +577,21 @@ def _add_sample_argument(parser: argparse.ArgumentParser) -> None:
              "WARMUP discarded + WINDOW measured instructions (e.g. "
              "50000:1000:500); implies --warmup 0",
     )
+    parser.add_argument(
+        "--sample-strata", type=int, default=1, metavar="S",
+        help="with --sample: stratified window placement — split each "
+             "period into S sub-periods measuring WINDOW/S instructions "
+             "at each sub-midpoint (same measured budget, S times the "
+             "windows; S must divide PERIOD, WINDOW, and WARMUP; "
+             "default: 1, classic placement)",
+    )
+    parser.add_argument(
+        "--warm-confidence", action="store_true",
+        help="with --sample: timing-aware predictor warm-up — "
+             "fast-forward warms stride/markov confidence counters and "
+             "stream-buffer priorities at a detuned rate instead of "
+             "full training fidelity",
+    )
 
 
 def _parse_sample(spec: str) -> tuple:
@@ -576,8 +613,18 @@ def _parse_sample(spec: str) -> tuple:
 
 
 def _apply_sample(args: argparse.Namespace, config: SimConfig) -> SimConfig:
-    """Fold a ``--sample`` flag into a machine config, if given."""
+    """Fold the ``--sample*`` flags into a machine config, if given."""
     if getattr(args, "sample", None) is None:
+        if getattr(args, "sample_strata", 1) != 1:
+            raise ConfigError(
+                "--sample-strata only applies with --sample",
+                field="sample",
+            )
+        if getattr(args, "warm_confidence", False):
+            raise ConfigError(
+                "--warm-confidence only applies with --sample",
+                field="sample",
+            )
         return config
     if args.warmup not in (None, 0):
         raise ConfigError(
@@ -586,7 +633,13 @@ def _apply_sample(args: argparse.Namespace, config: SimConfig) -> SimConfig:
             field="sample",
         )
     period, window, warmup = _parse_sample(args.sample)
-    return config.with_sampling(period=period, window=window, warmup=warmup)
+    return config.with_sampling(
+        period=period,
+        window=window,
+        warmup=warmup,
+        strata=getattr(args, "sample_strata", 1),
+        warm_confidence=getattr(args, "warm_confidence", False),
+    )
 
 
 def _warmup_of(args: argparse.Namespace) -> int:
@@ -732,6 +785,13 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_compare(args: argparse.Namespace) -> int:
+    if args.sample is not None:
+        return _command_compare_paired(args)
+    if args.paired_out is not None:
+        raise ConfigError(
+            "compare: --paired-out only applies with --sample",
+            field="compare.paired_out",
+        )
     warmup = _warmup_of(args)
     base = simulate(
         _apply_invariants(args, baseline_config()),
@@ -764,6 +824,134 @@ def _command_compare(args: argparse.Namespace) -> int:
             title=f"Figure 5 machines on '{args.workload}'",
         )
     )
+    return 0
+
+
+def _command_compare_paired(args: argparse.Namespace) -> int:
+    """``compare --sample``: all machines over one shared window grid.
+
+    The matched-pair sampler cancels the fast-forward cold-start bias
+    in the relative-IPC column — the number the Figure 5 comparison
+    actually reports — so sampled speedups are trustworthy even where
+    sampled absolute IPCs are biased.
+    """
+    from repro.sampling.paired import run_paired
+
+    configs = {"Base": _apply_invariants(args, baseline_config())}
+    for label, config in paper_configs().items():
+        configs[label] = _apply_invariants(args, config)
+    configs = {
+        label: _apply_sample(args, config)
+        for label, config in configs.items()
+    }
+    paired = run_paired(
+        configs,
+        get_workload(args.workload, seed=args.seed),
+        max_instructions=args.instructions,
+        baseline="Base",
+    )
+    rows = [["Base", f"{paired.results['Base'].ipc:.3f}", "-", "-", "-"]]
+    for label in paired.labels:
+        if label == "Base":
+            continue
+        stats = paired.pairs[label]
+        rows.append(
+            [
+                label,
+                f"{paired.results[label].ipc:.3f}",
+                f"{stats.speedup_percent:+.1f}%",
+                f"{stats.ratio_mean:.3f} ± {stats.ratio_ci95:.3f}",
+                f"{paired.results[label].prefetch_accuracy * 100:.0f}%",
+            ]
+        )
+    windows = len(paired.window_rows.get("Base", ()))
+    print(
+        ascii_table(
+            ["machine", "IPC (sampled)", "speedup", "window ratio",
+             "accuracy"],
+            rows,
+            title=(
+                f"Figure 5 machines on '{args.workload}' "
+                f"(matched-pair sample, {windows} windows)"
+            ),
+        )
+    )
+    print(
+        "speedups are paired estimates: every machine was sampled over "
+        "the same window grid, so fast-forward bias cancels in the "
+        "ratios"
+    )
+    if args.paired_out is not None:
+        with open(args.paired_out, "w") as handle:
+            json.dump(paired.to_dict(), handle, indent=2)
+        print(f"wrote paired manifest to {args.paired_out}")
+    return 0
+
+
+def _command_sweep_paired(
+    args: argparse.Namespace, machines: List[str]
+) -> int:
+    """``sweep --sample-paired``: matched-pair sampling across machines."""
+    import os
+
+    from repro.sim.sweep import paired_sweep
+
+    if args.sample is None:
+        raise ConfigError(
+            "sweep: --sample-paired requires --sample "
+            "PERIOD:WINDOW:WARMUP (the legs share one sampling shape)",
+            field="sweep.sample_paired",
+        )
+    if len(machines) < 2:
+        raise ConfigError(
+            "sweep: --sample-paired needs at least two machines to "
+            "compare",
+            field="sweep.sample_paired",
+        )
+    configs = {
+        name: _apply_sample(args, _apply_sharing(args, _config_of(args, name)))
+        for name in machines
+    }
+    baseline = "base" if "base" in configs else machines[0]
+    paired = paired_sweep(
+        configs,
+        lambda: get_workload(args.workload, seed=args.seed),
+        max_instructions=args.instructions,
+        baseline=baseline,
+    )
+    rows = []
+    for label in paired.labels:
+        result = paired.results[label]
+        if label == baseline:
+            rows.append([label, f"{result.ipc:.4f}", "baseline", "-"])
+            continue
+        stats = paired.pairs[label]
+        rows.append(
+            [
+                label,
+                f"{result.ipc:.4f}",
+                f"{stats.rel_ipc:.4f} ({stats.speedup_percent:+.1f}%)",
+                f"{stats.ratio_mean:.4f} ± {stats.ratio_ci95:.4f} "
+                f"(n={stats.windows})",
+            ]
+        )
+    windows = len(paired.window_rows.get(baseline, ()))
+    print(
+        ascii_table(
+            ["machine", "IPC (sampled)", "rel. IPC", "window ratio"],
+            rows,
+            title=(
+                f"paired sampling campaign: '{args.workload}' "
+                f"({windows} shared windows, baseline '{baseline}')"
+            ),
+        )
+    )
+    if args.campaign_dir:
+        os.makedirs(args.campaign_dir, exist_ok=True)
+        paired_path = os.path.join(args.campaign_dir, "paired.json")
+        with open(paired_path, "w") as handle:
+            json.dump(paired.to_dict(), handle, indent=2)
+        print(f"wrote paired manifest to {paired_path}")
     return 0
 
 
@@ -959,6 +1147,7 @@ def _bench_sampling(args: argparse.Namespace, workloads: List[str]) -> int:
         seed=args.seed,
         sample=sample,
         ipc_error_bound=args.error_bound,
+        paired_error_bound=args.paired_bound,
         speedup_floor=args.speedup_floor,
         profile_dir=args.profile,
     )
@@ -1043,6 +1232,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
             )
     if not machines:
         raise ConfigError("no machines selected", field="sweep.machines")
+    if args.sample_paired:
+        return _command_sweep_paired(args, machines)
     chaos = None
     if args.chaos_seed is not None:
         from repro.runner import ChaosSpec

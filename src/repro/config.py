@@ -376,12 +376,48 @@ class SamplingConfig:
     window: int = 1_000
     #: Detailed warm-up instructions preceding each measured window.
     warmup: int = 500
+    #: Number of strata each period subdivides into.  ``1`` (the
+    #: default) is the classic SMARTS grid: one ``window`` at each
+    #: period's midpoint.  With ``s > 1`` the period's detailed budget
+    #: splits into ``s`` sub-windows of ``window / s`` instructions
+    #: (each preceded by ``warmup / s`` warm-up), one at the midpoint of
+    #: each of the period's ``s`` strata — the same measured fraction
+    #: spread across ``s`` phases of the period, so the estimate stops
+    #: depending on which phase of a long program loop the single
+    #: midpoint happened to land on (the phase-alignment bias visible on
+    #: strongly phased workloads).  Must divide ``period``, ``window``,
+    #: and ``warmup`` evenly.
+    strata: int = 1
+    #: Timing-aware predictor warm-up: when set, the fast-forward engine
+    #: warms prefetcher state through
+    #: :meth:`~repro.memory.hierarchy.PrefetcherPort.warm_confidence`,
+    #: which trains the address/history tables at full rate but moves
+    #: the accuracy-confidence and priority counters at a detuned rate —
+    #: matching detailed steady state, where prefetch hits remove
+    #: training events, instead of overshooting it.  Off by default so
+    #: existing sampled results stay bit-identical.
+    warm_confidence: bool = False
 
     def __post_init__(self) -> None:
         owner = "SamplingConfig"
         _require(self.period > 0, owner, "period", "must be positive")
         _require(self.window > 0, owner, "window", "must be positive")
         _require(self.warmup >= 0, owner, "warmup", "must be >= 0")
+        _require(self.strata > 0, owner, "strata", "must be positive")
+        if self.strata > 1:
+            _require(
+                self.period % self.strata == 0,
+                owner, "strata", "must divide period evenly",
+            )
+            _require(
+                self.window % self.strata == 0
+                and self.window >= self.strata,
+                owner, "strata", "must divide window evenly",
+            )
+            _require(
+                self.warmup % self.strata == 0,
+                owner, "strata", "must divide warmup evenly",
+            )
         _require(
             self.window + self.warmup < self.period,
             owner, "window",
@@ -492,12 +528,25 @@ class SimConfig:
         period: int = 50_000,
         window: int = 1_000,
         warmup: int = 500,
+        strata: int = 1,
+        warm_confidence: bool = False,
     ) -> "SimConfig":
-        """Return a copy that runs under systematic sampling."""
+        """Return a copy that runs under systematic sampling.
+
+        ``strata`` splits each period's measured window across that many
+        sub-strata (same detailed fraction, finer phase coverage);
+        ``warm_confidence`` enables timing-aware (detuned) warming of
+        predictor confidence counters.  The defaults reproduce the
+        classic single-grid, full-rate warming bit-identically.
+        """
         return replace(
             self,
             sampling=SamplingConfig(
-                period=period, window=window, warmup=warmup
+                period=period,
+                window=window,
+                warmup=warmup,
+                strata=strata,
+                warm_confidence=warm_confidence,
             ),
         )
 

@@ -116,6 +116,23 @@ class PrefetcherPort:
         """
         self.on_l1_miss(pc, addr, 0, False)
 
+    def warm_confidence(self, pc: int, addr: int) -> None:
+        """Timing-aware warming for one fast-forwarded miss.
+
+        Called instead of :meth:`warm_l1_miss` when
+        :attr:`~repro.config.SamplingConfig.warm_confidence` is set.
+        Full-rate functional warming overshoots detailed steady state:
+        in detailed execution a warm prefetcher *removes* misses, so the
+        predictor trains — and its accuracy-confidence counters climb —
+        more slowly than a fast-forward that replays every miss.
+        Implementations should keep the address/history tables exact
+        (they mirror the access stream either way) but move confidence
+        and priority counters at a detuned rate.  The default delegates
+        to :meth:`warm_l1_miss`: prefetchers without separate confidence
+        state have nothing to detune.
+        """
+        self.warm_l1_miss(pc, addr)
+
 
 class L2Pipeline:
     """The L2 accepts overlapping accesses, ``depth`` at a time."""

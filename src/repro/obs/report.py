@@ -208,6 +208,18 @@ def _section_sampling(result: Dict[str, Any]) -> List[str]:
         "fast-forwarded between windows."
     )
     lines.append("")
+    strata = int(extra.get("sample_strata", 1))
+    warm = bool(extra.get("sample_warm_confidence", 0.0))
+    if strata > 1 or warm:
+        knobs = []
+        if strata > 1:
+            knobs.append(
+                f"stratified placement ({strata} sub-windows per period)"
+            )
+        if warm:
+            knobs.append("timing-aware predictor warm-up")
+        lines.append(f"Cold-start controls: {'; '.join(knobs)}.")
+        lines.append("")
     lines.append(
         f"Estimated IPC **{ipc:.4f} ± {ci:.4f}** (95% CI over "
         "per-window IPC; the whole-trace estimate is "
@@ -230,11 +242,15 @@ def _section_sampling(result: Dict[str, Any]) -> List[str]:
                 f"{extra.get(f'win.{index}.miss_rate', 0.0):.4f}",
             )
         )
+    truncated = int(extra.get("windows_truncated", 0))
     if rows:
-        if len(rows) < windows:
+        if truncated or len(rows) < windows:
+            dropped = truncated or windows - len(rows)
             lines.append(
-                f"Per-window rows truncated to the first {len(rows)} of "
-                f"{windows} windows."
+                f"**{dropped} window row(s) not exported** (per-window "
+                f"extras cap): the table shows the first {len(rows)} of "
+                f"{windows} windows; the stitched estimate above covers "
+                "all of them."
             )
             lines.append("")
         lines.extend(
@@ -478,6 +494,83 @@ def _section_events(events: List[Dict[str, Any]]) -> List[str]:
 
 
 # ---------------------------------------------------------------------------
+# Paired sampling
+# ---------------------------------------------------------------------------
+
+
+def paired_section(payload: Dict[str, Any]) -> List[str]:
+    """The "Paired sampling" panel for a matched-pair comparison.
+
+    ``payload`` is a :meth:`repro.sampling.paired.PairedResult.to_dict`
+    manifest (``compare --sample --paired-out`` or a ``sweep
+    --sample-paired`` campaign's ``paired.json``).
+    """
+    if not payload.get("paired"):
+        return []
+    baseline = payload.get("baseline", "?")
+    sample = payload.get("sample", {})
+    results = payload.get("results", {})
+    pairs = payload.get("pairs", {})
+    window_rows = payload.get("window_rows", {})
+    base_windows = len(window_rows.get(baseline, ()))
+    lines = ["## Paired sampling", ""]
+    lines.append(
+        f"Matched-pair comparison against **{baseline}**: every machine "
+        f"sampled over the same {base_windows}-window grid "
+        f"({_fmt(sample.get('sample_window', 0))} measured instructions "
+        f"every {_fmt(sample.get('sample_period', 0))} records) from one "
+        "shared trace cursor, so the fast-forward cold-start bias is "
+        "common to both legs and cancels in the IPC ratios."
+    )
+    lines.append("")
+    rows = []
+    for label, result in results.items():
+        if label == baseline:
+            rows.append(
+                (label, f"{result.get('ipc', 0.0):.4f}",
+                 "1.0000 (baseline)", "-", "-")
+            )
+            continue
+        stats = pairs.get(label, {})
+        rows.append(
+            (
+                label,
+                f"{result.get('ipc', 0.0):.4f}",
+                f"{stats.get('rel_ipc', 0.0):.4f}",
+                f"{stats.get('speedup_percent', 0.0):+.1f}%",
+                f"{stats.get('ratio_mean', 0.0):.4f} ± "
+                f"{stats.get('ratio_ci95', 0.0):.4f} "
+                f"(n={stats.get('windows', 0)})",
+            )
+        )
+    lines.extend(
+        _table(
+            ("Machine", "Sampled IPC", "Rel. IPC", "Speedup",
+             "Window ratio (95% CI)"),
+            rows,
+        )
+    )
+    lines.append("")
+    for label, rows_ in window_rows.items():
+        if label == baseline or len(rows_) < 2:
+            continue
+        base_rows = window_rows.get(baseline, ())
+        ratios = [
+            row["ipc"] / base_row["ipc"]
+            for base_row, row in zip(base_rows, rows_)
+            if base_row.get("ipc")
+        ]
+        if len(ratios) >= 2:
+            lines.append(
+                f"`{label}`/`{baseline}` window ratios: "
+                f"`{sparkline(ratios)}`"
+            )
+    if lines[-1] != "":
+        lines.append("")
+    return lines
+
+
+# ---------------------------------------------------------------------------
 # Campaign report
 # ---------------------------------------------------------------------------
 
@@ -490,16 +583,25 @@ def campaign_report(campaign_dir: str) -> str:
     recorded them.
     """
     manifest_path = os.path.join(campaign_dir, "manifest.json")
+    name = os.path.basename(os.path.abspath(campaign_dir))
     try:
         with open(manifest_path) as handle:
             manifest = json.load(handle)
     except OSError as exc:
+        # A paired sampling sweep (`sweep --sample-paired`) runs inline
+        # and leaves only paired.json; render that panel on its own.
+        paired_path = os.path.join(campaign_dir, "paired.json")
+        if os.path.isfile(paired_path):
+            with open(paired_path) as handle:
+                payload = json.load(handle)
+            out = [f"# Campaign report: {name}", ""]
+            out.extend(paired_section(payload))
+            return "\n".join(out).rstrip() + "\n"
         raise ConfigError(
             f"campaign dir {campaign_dir!r} has no readable manifest.json: "
             f"{exc}",
             field="report.campaign",
         ) from exc
-    name = os.path.basename(os.path.abspath(campaign_dir))
     out: List[str] = [f"# Campaign report: {name}", ""]
     rows = [
         ("Status", manifest.get("status", "?")),
@@ -554,6 +656,15 @@ def campaign_report(campaign_dir: str) -> str:
         if len(ipcs) >= 2:
             out.append(f"IPC across points: `{sparkline([v for _, v in ipcs])}`")
             out.append("")
+    paired_path = os.path.join(campaign_dir, "paired.json")
+    if os.path.isfile(paired_path):
+        try:
+            with open(paired_path) as handle:
+                paired_payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            paired_payload = None
+        if paired_payload:
+            out.extend(paired_section(paired_payload))
     failures = manifest.get("failures", [])
     if failures:
         out.append("## Failures")

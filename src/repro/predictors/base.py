@@ -71,6 +71,21 @@ class AddressPredictor(ABC):
         Returns None when the predictor has nothing useful to say.
         """
 
+    def warm(self, pc: int, address: int, full: bool = True) -> bool:
+        """Observe one *fast-forwarded* miss (sampling warm-up).
+
+        With ``full`` the observation is an ordinary :meth:`train`.
+        With ``full=False`` implementations should fold the address into
+        their history/stride/transition tables — that state mirrors the
+        access stream and must stay exact — but leave the accuracy
+        confidence and streak counters untouched.  The sampling layer
+        alternates the two to warm confidence at a detuned rate matching
+        detailed steady state (see
+        :meth:`repro.memory.hierarchy.PrefetcherPort.warm_confidence`).
+        The default always trains at full fidelity.
+        """
+        return self.train(pc, address)
+
     def confidence_for(self, pc: int) -> int:
         """Accuracy confidence for a load, used by allocation filtering."""
         return 0

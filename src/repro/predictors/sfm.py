@@ -82,6 +82,31 @@ class StrideFilteredMarkovPredictor(AddressPredictor):
             self.markov_table.train(last_address, address)
         return correct
 
+    def warm(self, pc: int, address: int, full: bool = True) -> bool:
+        """Fast-forward observation; ``full=False`` detunes confidence.
+
+        The stride entry's address state and the Markov transition table
+        follow the miss stream exactly either way — both mirror what
+        detailed execution would record — but a detuned observation
+        skips the accuracy counter and the correct-streak update, so
+        confidence climbs at the rate detailed steady state would see.
+        """
+        if full:
+            return self.train(pc, address)
+        entry = self.stride_table.lookup(pc)
+        if entry is None:
+            self.stride_table._allocate(pc, address)
+            return False
+        last_address = entry.last_address
+        new_stride = address - last_address
+        stride_covered = (
+            new_stride == entry.last_stride or new_stride == entry.two_delta_stride
+        )
+        entry.observe(address)
+        if not stride_covered:
+            self.markov_table.train(last_address, address)
+        return False
+
     # ------------------------------------------------------------------
     # Stream-buffer side
     # ------------------------------------------------------------------

@@ -122,6 +122,33 @@ class TwoDeltaStrideTable(AddressPredictor):
         entry.observe(address)
         return correct
 
+    def warm(self, pc: int, address: int, full: bool = True) -> bool:
+        """Fast-forward observation; ``full=False`` detunes confidence.
+
+        The stride state (last address, last stride, two-delta stride)
+        follows the miss stream exactly either way; only the accuracy
+        counter and the correct/same-stride streaks are skipped on a
+        detuned observation.
+        """
+        if full:
+            return self.train(pc, address)
+        entry = self.lookup(pc)
+        if entry is None:
+            self._allocate(pc, address)
+            return False
+        correct = entry.predicted_address == address
+        stride = address - entry.last_address
+        if stride != entry.last_stride:
+            # Keep the *predicted* stride exact without crediting the
+            # confidence streaks: a changed stride resets the two-delta
+            # pipeline the same way observe() would.
+            entry.consecutive_same_stride = 0
+        else:
+            entry.two_delta_stride = stride
+        entry.last_stride = stride
+        entry.last_address = address
+        return correct
+
     def make_stream_state(self, pc: int, address: int) -> StreamState:
         entry = self.lookup(pc)
         stride = entry.two_delta_stride if entry is not None else 0

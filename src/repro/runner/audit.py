@@ -438,10 +438,18 @@ def audit_service(service_dir: str) -> AuditReport:
 
 def _audit_jobstore(report: AuditReport) -> Dict[str, Dict[str, Any]]:
     """Replay ``jobs.jsonl``; job_id -> last valid record."""
-    from repro.service.jobstore import JOB_STATES, JOBS_NAME, TERMINAL_STATES
+    from repro.service.jobstore import (
+        JOB_STATES,
+        JOBS_NAME,
+        TERMINAL_STATES,
+        job_id_of,
+    )
 
     path = os.path.join(report.campaign_dir, JOBS_NAME)
     records: Dict[str, Dict[str, Any]] = {}
+    #: job_id -> every distinct rev its entries were logged under
+    #: (``None`` = a legacy entry from before revision keying).
+    revs_seen: Dict[str, set] = {}
     lines = corrupt = 0
     for number, line, entry, problem in iter_checkpoint_lines(
         path, key="job_id"
@@ -461,6 +469,37 @@ def _audit_jobstore(report: AuditReport) -> Dict[str, Dict[str, Any]]:
             continue
         assert entry is not None
         records[entry["job_id"]] = entry
+        revs_seen.setdefault(entry["job_id"], set()).add(entry.get("rev"))
+    # Mixed-rev collisions: one job_id whose log entries span code
+    # revisions means its run directory may mix results from different
+    # code — exactly the aliasing the (spec, rev) keying exists to
+    # prevent.  Legacy spec-only ids are how this happens in practice.
+    for job_id in sorted(revs_seen):
+        revs = revs_seen[job_id]
+        named = sorted(r for r in revs if r is not None)
+        if len(named) > 1 or (named and None in revs):
+            span = " + ".join(
+                named + (["unversioned"] if None in revs else [])
+            )
+            report._add(
+                "error", "job.rev.collision",
+                f"job {job_id!r}: entries span code revisions ({span}); "
+                f"its recorded results may mix code versions",
+            )
+    # A revision-keyed id must be the hash it claims to be; a mismatch
+    # means the log was hand-edited or the entry was forged under the
+    # wrong key.  Legacy (rev-less) entries get the spec-only check as
+    # a warning — their ids predate the keying fix.
+    for job_id, entry in records.items():
+        rev = entry.get("rev")
+        expected = job_id_of(entry.get("spec", {}), rev)
+        if job_id != expected:
+            report._add(
+                "error" if rev is not None else "warning",
+                "job.id.mismatch",
+                f"job {job_id!r}: id does not match its content address "
+                f"{expected!r} for spec+rev={rev!r}",
+            )
     if lines and not records:
         report._add(
             "error", "jobs.unreadable",

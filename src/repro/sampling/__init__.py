@@ -14,9 +14,29 @@ estimate with a confidence interval.
 Enable it with :meth:`repro.config.SimConfig.with_sampling` or
 ``repro-sim run/sweep --sample PERIOD:WINDOW:WARMUP``; the detailed
 path is untouched when ``SimConfig.sampling`` is ``None``.
+
+For machine *comparisons* use the matched-pair driver
+(:mod:`repro.sampling.paired`, ``repro-sim compare --sample`` or
+``sweep --sample-paired``): sampling every machine over the same window
+grid cancels the fast-forward cold-start bias in relative-IPC and
+speedup estimates — the quantities the paper's figures actually report.
 """
 
 from repro.sampling.driver import resume_sampled, run_sampled
 from repro.sampling.fastforward import FastForwardEngine
+from repro.sampling.paired import (
+    PairedResult,
+    PairStats,
+    paired_from_results,
+    run_paired,
+)
 
-__all__ = ["FastForwardEngine", "resume_sampled", "run_sampled"]
+__all__ = [
+    "FastForwardEngine",
+    "PairStats",
+    "PairedResult",
+    "paired_from_results",
+    "resume_sampled",
+    "run_paired",
+    "run_sampled",
+]

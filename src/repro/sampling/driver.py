@@ -112,12 +112,17 @@ def run_sampled(
     label: str = "run",
     snapshot_every: Optional[int] = None,
     snapshot_sink: Optional[Callable] = None,
+    window_sink: Optional[List[dict]] = None,
 ) -> SimulationResult:
     """Run ``trace`` under ``simulator.config.sampling``.
 
     Called from :meth:`repro.sim.simulator.Simulator.run` when
     ``config.sampling`` is set; ``max_instructions`` bounds total records
     (fast-forwarded + detailed), matching detailed-mode semantics.
+    ``window_sink``, when given, receives one *uncapped* row dict per
+    measured window (index, ipc, instructions, cycles, miss_rate) — the
+    paired driver consumes these; ``result.extra`` stays capped at
+    ``_MAX_WINDOW_ROWS`` rows either way.
     """
     state = _SamplingState(max_instructions)
     return _drive_sampled(
@@ -127,6 +132,7 @@ def run_sampled(
         label,
         snapshot_every=snapshot_every,
         snapshot_sink=snapshot_sink,
+        window_sink=window_sink,
     )
 
 
@@ -136,6 +142,7 @@ def resume_sampled(
     label: Optional[str] = None,
     snapshot_every: Optional[int] = None,
     snapshot_sink: Optional[Callable] = None,
+    window_sink: Optional[List[dict]] = None,
 ) -> SimulationResult:
     """Continue a ``mode="sampled"`` snapshot to completion.
 
@@ -161,6 +168,7 @@ def resume_sampled(
         label if label is not None else snapshot.label,
         snapshot_every=snapshot_every,
         snapshot_sink=snapshot_sink,
+        window_sink=window_sink,
     )
     result.extra["resumed_from_cycle"] = float(snapshot.cycle)
     return result
@@ -173,6 +181,7 @@ def _drive_sampled(
     label: str,
     snapshot_every: Optional[int] = None,
     snapshot_sink: Optional[Callable] = None,
+    window_sink: Optional[List[dict]] = None,
 ) -> SimulationResult:
     sampling = simulator.config.sampling
     if sampling is None:
@@ -213,7 +222,7 @@ def _drive_sampled(
         "branches": engine.branches,
         "l1_misses": engine.l1_misses,
     }
-    return _stitch(simulator, state, sampling, label)
+    return _stitch(simulator, state, sampling, label, window_sink)
 
 
 def _sampling_loop(
@@ -229,6 +238,15 @@ def _sampling_loop(
     period = sampling.period
     window = sampling.window
     warmup = sampling.warmup
+    # Stratified placement: with s strata each period's detailed budget
+    # splits into s sub-windows, one at the midpoint of each of the
+    # period's s strata.  The loop below then just runs the midpoint
+    # rule on the sub-period grid — same measured fraction, s times the
+    # phase coverage.  (SamplingConfig validated divisibility.)
+    if sampling.strata > 1:
+        period //= sampling.strata
+        window //= sampling.strata
+        warmup //= sampling.strata
     core = simulator.core
     hierarchy = simulator.hierarchy
     controller = simulator.controller
@@ -256,7 +274,8 @@ def _sampling_loop(
     # The first gap is half a period so windows sit at period *midpoints*
     # (the midpoint rule): an end-of-period grid systematically skips any
     # monotone transient at the head of the trace, biasing the estimate
-    # high.  Resumes recompute the same grid from period_index.
+    # high.  Resumes recompute the same grid from period_index (which
+    # counts sub-periods under stratified placement).
     gap = (
         gap_target // 2 if state.period_index == 0 else gap_target
     )
@@ -289,6 +308,7 @@ def _sampling_loop(
         gap = gap_target
 
         # ---- detailed window (warmup + measured) ---------------------
+        window_start = state.records_consumed
         detailed_cap = window + warmup
         if budget is not None:
             detailed_cap = min(
@@ -325,7 +345,12 @@ def _sampling_loop(
         state.records_consumed += run_state.records_consumed
         exhausted = run_state.fetched < detailed_cap
         if not run_state.warmup_pending and stats.retired > 0:
-            state.windows.append(_harvest_window(simulator, stats, state))
+            row = _harvest_window(simulator, stats, state)
+            # Record-space offset of the detailed stretch: the paired
+            # driver asserts both machines of a pair measured the same
+            # trace spans.
+            row["start_record"] = window_start
+            state.windows.append(row)
         if exhausted:
             break
         # A record the window consumed but never dispatched is replayed
@@ -394,7 +419,11 @@ def _harvest_window(simulator, stats, state: _SamplingState) -> dict:
 
 
 def _stitch(
-    simulator, state: _SamplingState, sampling, label: str
+    simulator,
+    state: _SamplingState,
+    sampling,
+    label: str,
+    window_sink: Optional[List[dict]] = None,
 ) -> SimulationResult:
     """Aggregate per-window counters into one whole-trace result."""
     windows = state.windows
@@ -429,21 +458,38 @@ def _stitch(
         "sample_period": float(sampling.period),
         "sample_window": float(sampling.window),
         "sample_warmup": float(sampling.warmup),
+        "sample_strata": float(sampling.strata),
+        "sample_warm_confidence": float(sampling.warm_confidence),
         "windows": float(len(windows)),
+        # No silent caps: how many per-window rows the _MAX_WINDOW_ROWS
+        # export limit dropped from this extra block (0 = none).
+        "windows_truncated": float(
+            max(0, len(windows) - _MAX_WINDOW_ROWS)
+        ),
         "ipc_ci95": ci95,
         "measured_instructions": float(instructions),
         "ff_instructions": float(state.ff["instructions"]),
         "ff_l1_misses": float(state.ff["l1_misses"]),
     }
     for index, (w, ipc) in enumerate(zip(windows, ipcs)):
+        miss_rate = ratio(w["demand_misses"], w["demand_accesses"])
+        if window_sink is not None:
+            window_sink.append(
+                {
+                    "index": index,
+                    "ipc": ipc,
+                    "instructions": w["instructions"],
+                    "cycles": w["cycles"],
+                    "miss_rate": miss_rate,
+                    "start_record": w.get("start_record", 0),
+                }
+            )
         if index >= _MAX_WINDOW_ROWS:
-            break
+            continue
         extra[f"win.{index}.ipc"] = ipc
         extra[f"win.{index}.instructions"] = float(w["instructions"])
         extra[f"win.{index}.cycles"] = float(w["cycles"])
-        extra[f"win.{index}.miss_rate"] = ratio(
-            w["demand_misses"], w["demand_accesses"]
-        )
+        extra[f"win.{index}.miss_rate"] = miss_rate
     return SimulationResult(
         label=label,
         instructions=instructions,

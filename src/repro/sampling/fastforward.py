@@ -42,6 +42,11 @@ class FastForwardEngine:
         self._l2 = simulator.hierarchy.l2
         self._prefetcher = simulator.hierarchy.prefetcher
         self._bp = simulator.core.branch_predictor
+        sampling = simulator.config.sampling
+        #: Timing-aware warming (SamplingConfig.warm_confidence): route
+        #: load misses through the prefetcher's detuned warm_confidence
+        #: hook instead of full-rate warm_l1_miss.
+        self._timed_warm = sampling is not None and sampling.warm_confidence
         #: Cumulative functional-replay counters (whole run, never reset).
         self.instructions = 0
         self.loads = 0
@@ -82,7 +87,11 @@ class FastForwardEngine:
         counters = bp._counters
         hist_mask = bp._mask
         history = bp._history
-        pf_warm = self._prefetcher.warm_l1_miss
+        pf_warm = (
+            self._prefetcher.warm_confidence
+            if self._timed_warm
+            else self._prefetcher.warm_l1_miss
+        )
         LOAD = InstrKind.LOAD
         STORE = InstrKind.STORE
         BRANCH = InstrKind.BRANCH

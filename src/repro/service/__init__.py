@@ -19,6 +19,7 @@ from repro.service.jobstore import (
     TERMINAL_STATES,
     JobRecord,
     JobStore,
+    current_rev,
     job_id_of,
 )
 from repro.service.lease import LEASES_DIR, Lease, LeaseManager
@@ -29,6 +30,7 @@ __all__ = [
     "normalize_spec",
     "JobStore",
     "JobRecord",
+    "current_rev",
     "job_id_of",
     "JOB_STATES",
     "TERMINAL_STATES",

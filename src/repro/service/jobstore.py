@@ -21,9 +21,15 @@ entry, and the current state of the world is the last valid entry per
   newline, and the superseded state is simply re-derived.
 
 Idempotent submission falls out of content-addressing:
-:func:`job_id_of` hashes the canonical spec JSON, so re-POSTing the
-same sweep returns the existing job instead of a duplicate.  Exactly
-once is enforced at completion: :meth:`JobStore.complete` releases the
+:func:`job_id_of` hashes the canonical spec JSON *together with the
+code revision* (:func:`current_rev`), so re-POSTing the same sweep
+returns the existing job instead of a duplicate — but the same sweep
+submitted against different code is a different job.  Keying on spec
+alone was a bug: a service upgraded in place would dedupe a fresh
+submission onto a job whose recorded results came from old code.
+Legacy logs written before revision keying replay fine (their records
+simply carry no ``rev``); ``repro-sim audit`` flags any job_id whose
+entries mix revisions.  Exactly once is enforced at completion: :meth:`JobStore.complete` releases the
 lease *before* appending the terminal entry and refuses (raises
 :class:`~repro.errors.LeaseLostError`) if the lease was lost — a
 fenced-out zombie can never write ``done``.
@@ -43,6 +49,7 @@ import errno
 import hashlib
 import json
 import os
+import subprocess
 import time
 from dataclasses import dataclass
 from typing import (
@@ -65,6 +72,7 @@ __all__ = [
     "JOB_STATES",
     "JobRecord",
     "JobStore",
+    "current_rev",
     "job_id_of",
 ]
 
@@ -79,9 +87,45 @@ JOB_STATES = ("queued", "running", "done", "failed", "poisoned")
 TERMINAL_STATES = ("done", "failed", "poisoned")
 
 
-def job_id_of(spec: Dict[str, Any]) -> str:
-    """Content address of a normalized job spec (idempotency key)."""
+def current_rev() -> str:
+    """The code revision jobs are keyed on.
+
+    The working tree's hash (``git rev-parse HEAD^{tree}``) rather than
+    the commit hash: two commits with identical trees produce identical
+    results, so they should dedupe onto the same job.  Falls back to
+    the short commit hash, then ``"unknown"`` outside a git checkout —
+    an unknown rev still participates in the key, it just cannot
+    distinguish code versions.
+    """
+    for args in (
+        ["git", "rev-parse", "--short", "HEAD^{tree}"],
+        ["git", "rev-parse", "--short", "HEAD"],
+    ):
+        try:
+            out = subprocess.run(
+                args, capture_output=True, text=True, timeout=10
+            )
+        except OSError:
+            return "unknown"
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    return "unknown"
+
+
+def job_id_of(spec: Dict[str, Any], rev: Optional[str] = None) -> str:
+    """Content address of a normalized job spec (idempotency key).
+
+    With ``rev`` the address covers ``(spec, code revision)`` — the
+    fixed keying that stops a re-submitted sweep from deduping onto
+    results computed by different code.  ``rev=None`` reproduces the
+    legacy spec-only address (what pre-revision logs were written
+    with); :class:`JobStore` always passes its revision.
+    """
     canonical = json.dumps(spec, sort_keys=True)
+    if rev is not None:
+        canonical = json.dumps(
+            {"rev": rev, "spec": spec}, sort_keys=True
+        )
     return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
 
@@ -101,6 +145,10 @@ class JobRecord:
     expiries: int = 0
     #: Owner string of the worker currently running the job, if any.
     owner: Optional[str] = None
+    #: Code revision the job was submitted under.  ``None`` on records
+    #: replayed from a pre-revision-keying log (tolerated: such jobs
+    #: keep their legacy spec-only ids).
+    rev: Optional[str] = None
     error: Optional[Dict[str, Any]] = None
     summary: Optional[Dict[str, Any]] = None
 
@@ -116,6 +164,8 @@ class JobRecord:
         }
         if self.owner is not None:
             entry["owner"] = self.owner
+        if self.rev is not None:
+            entry["rev"] = self.rev
         if self.error is not None:
             entry["error"] = self.error
         if self.summary is not None:
@@ -133,6 +183,7 @@ class JobRecord:
             claims=entry.get("claims", 0),
             expiries=entry.get("expiries", 0),
             owner=entry.get("owner"),
+            rev=entry.get("rev"),
             error=entry.get("error"),
             summary=entry.get("summary"),
         )
@@ -163,6 +214,7 @@ class JobStore:
         retry_after: float = 2.0,
         chaos: Optional[Any] = None,
         clock: Callable[[], float] = time.time,
+        rev: Optional[str] = None,
     ) -> None:
         if max_queued < 1:
             raise ServiceError(
@@ -183,6 +235,9 @@ class JobStore:
         self.max_queued = max_queued
         self.max_expiries = max_expiries
         self.retry_after = retry_after
+        #: The revision new submissions are keyed on (auto-detected
+        #: from the checkout unless injected for tests).
+        self.rev = rev if rev is not None else current_rev()
         self.chaos = chaos
         self._clock = clock
         self.leases = LeaseManager(
@@ -282,12 +337,14 @@ class JobStore:
     def submit(self, spec: Dict[str, Any]) -> Tuple[JobRecord, bool]:
         """Admit a normalized spec; ``(record, created)``.
 
-        Idempotent: an identical spec returns its existing job with
-        ``created=False``, whatever state that job is in.  A full
+        Idempotent *per code revision*: an identical spec under the
+        same :attr:`rev` returns its existing job with
+        ``created=False``, whatever state that job is in; the same
+        spec under different code keys to a fresh job.  A full
         admission queue raises :class:`BackPressureError` — bounded
         queues fail loudly at the edge instead of slowly everywhere.
         """
-        job_id = job_id_of(spec)
+        job_id = job_id_of(spec, self.rev)
         existing = self._records.get(job_id)
         if existing is not None:
             return existing, False
@@ -307,6 +364,7 @@ class JobStore:
             spec=spec,
             submitted_at=now,
             updated_at=now,
+            rev=self.rev,
         )
         self._records[job_id] = record
         self._append(record)

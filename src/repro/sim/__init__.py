@@ -10,7 +10,12 @@ from repro.sim.presets import (
 )
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import Simulator, simulate
-from repro.sim.sweep import cache_sweep, run_configs, sharing_sweep
+from repro.sim.sweep import (
+    cache_sweep,
+    paired_sweep,
+    run_configs,
+    sharing_sweep,
+)
 
 __all__ = [
     "baseline_config",
@@ -23,6 +28,7 @@ __all__ = [
     "Simulator",
     "simulate",
     "cache_sweep",
+    "paired_sweep",
     "run_configs",
     "sharing_sweep",
 ]

@@ -89,6 +89,7 @@ class StreamBufferController(PrefetcherPort):
         self.hierarchy: Optional[MemoryHierarchy] = None
         self._training_epoch = 0
         self._misses_since_aging = 0
+        self._warm_calls = 0
         self._any_allocated = False
         # Steady-state fast path: when a tick finds no work, skip the
         # scan on subsequent ticks until an event (hit, miss, fresh
@@ -211,6 +212,31 @@ class StreamBufferController(PrefetcherPort):
         self.predictor.train(pc, addr & ~(self.block_size - 1))
         self._training_epoch += 1
         self._predict_skip = False
+
+    def warm_confidence(self, pc: int, addr: int) -> None:
+        """Timing-aware warming: detune confidence and priority counters.
+
+        Full-rate warming (:meth:`warm_l1_miss`) trains the predictor on
+        *every* fast-forwarded miss, but in detailed execution a working
+        stream buffer absorbs a large share of those misses, so the
+        accuracy-confidence counters and allocation streaks climb far
+        more slowly.  Here the address/history tables still observe
+        every miss (they must stay exact) while confidence moves on
+        alternate misses only, and buffer priorities age on the same
+        schedule the detailed miss stream would drive — so the next
+        measured window opens from predictor state resembling detailed
+        steady state instead of a fully saturated one.
+        """
+        self._warm_calls += 1
+        full = (self._warm_calls & 1) == 0
+        self.predictor.warm(pc, addr & ~(self.block_size - 1), full)
+        self._training_epoch += 1
+        self._predict_skip = False
+        self._misses_since_aging += 1
+        if self._misses_since_aging >= self.config.priority_age_period:
+            self._misses_since_aging = 0
+            for buffer in self.buffers:
+                buffer.priority.decrement(self.config.priority_age_amount)
 
     def _try_allocate(self, pc: int, block: int, cycle: int) -> None:
         # A load that already owns a stream must not thrash it: while its

@@ -484,6 +484,60 @@ class TestJobStoreRules:
         report = audit_service(str(svc))
         assert "job.owner.terminal" in _codes(report)
 
+    def test_mixed_rev_entries_are_a_collision_error(self, svc):
+        from repro.runner import audit_service
+
+        record = _job_record(svc)
+        record["rev"] = "0badc0de"
+        _append_job(svc, record)
+        report = audit_service(str(svc))
+        assert "job.rev.collision" in _codes(report)
+        assert not report.ok
+
+    def test_legacy_entries_mixed_with_keyed_ones_collide(self, svc):
+        from repro.runner import audit_service
+
+        record = _job_record(svc)
+        record.pop("rev", None)
+        _append_job(svc, record)
+        report = audit_service(str(svc))
+        assert "job.rev.collision" in _codes(report)
+
+    def test_forged_rev_keyed_id_is_an_error(self, svc):
+        from repro.service import job_id_of
+
+        from repro.runner import audit_service
+
+        record = _job_record(svc)
+        record["spec"] = dict(record["spec"], seed=999)
+        _append_job(svc, record)
+        report = audit_service(str(svc))
+        assert "job.id.mismatch" in _codes(report)
+        assert not report.ok
+
+    def test_legacy_spec_only_log_replays_clean(self, svc, tmp_path):
+        """A pre-revision-keying log (no rev fields anywhere) audits
+        with no rev collisions and only a migration warning at worst."""
+        from repro.service import job_id_of
+
+        from repro.runner import audit_service
+
+        record = _job_record(svc)
+        spec = dict(record["spec"], seed=777)
+        legacy = {
+            "job_id": job_id_of(spec),  # legacy spec-only address
+            "state": "queued",
+            "spec": spec,
+            "submitted_at": 1.0,
+            "updated_at": 1.0,
+            "claims": 0,
+            "expiries": 0,
+        }
+        _append_job(svc, legacy)
+        report = audit_service(str(svc))
+        assert "job.rev.collision" not in _codes(report)
+        assert "job.id.mismatch" not in _codes(report)
+
 
 class TestLeaseRules:
     def test_unparsable_lease_is_an_error(self, svc):

@@ -95,6 +95,62 @@ class TestSubmit:
         assert not created and again.state == "done"
 
 
+class TestRevisionKeying:
+    def test_job_id_keys_on_revision(self):
+        assert job_id_of(spec_of(), "rev-a") == job_id_of(spec_of(), "rev-a")
+        assert job_id_of(spec_of(), "rev-a") != job_id_of(spec_of(), "rev-b")
+        # The legacy spec-only address is yet another key, so keyed and
+        # legacy ids never alias by construction.
+        assert job_id_of(spec_of(), "rev-a") != job_id_of(spec_of())
+
+    def test_same_spec_different_rev_is_a_new_job(self, tmp_path, clock):
+        old = JobStore(str(tmp_path / "svc"), clock=clock, rev="rev-old")
+        stale, created = old.submit(spec_of())
+        assert created and stale.rev == "rev-old"
+        # The service restarts on new code over the same directory: the
+        # old job replays untouched, the same spec admits a fresh job.
+        new = JobStore(str(tmp_path / "svc"), clock=clock, rev="rev-new")
+        assert new.get(stale.job_id).state == "queued"
+        fresh, created = new.submit(spec_of())
+        assert created
+        assert fresh.job_id != stale.job_id
+        assert fresh.rev == "rev-new"
+        # ...and stays idempotent within the new revision.
+        _, created = new.submit(spec_of())
+        assert not created
+
+    def test_legacy_log_without_rev_replays(self, tmp_path, clock):
+        """A pre-revision-keying jobs.jsonl is still a valid store."""
+        from repro.runner.checkpoint import encode_entry
+
+        directory = tmp_path / "svc"
+        directory.mkdir()
+        spec = spec_of()
+        legacy_id = job_id_of(spec)  # spec-only address, no rev field
+        entry = {
+            "job_id": legacy_id,
+            "state": "queued",
+            "spec": spec,
+            "submitted_at": 1.0,
+            "updated_at": 1.0,
+            "claims": 0,
+            "expiries": 0,
+        }
+        (directory / JOBS_NAME).write_text(encode_entry(entry) + "\n")
+        store = JobStore(str(directory), clock=clock, rev="rev-new")
+        migrated = store.get(legacy_id)
+        assert migrated is not None and migrated.rev is None
+        # The legacy job still claims and completes under its old id...
+        record, lease = store.claim("w1")
+        assert record.job_id == legacy_id
+        store.complete(record, lease, "done", summary={"ok": 1})
+        # ...and its terminal entry keeps the id rev-less, so replay
+        # never mixes revisions under one address.
+        reborn = JobStore(str(directory), clock=clock, rev="rev-new")
+        assert reborn.get(legacy_id).state == "done"
+        assert reborn.get(legacy_id).rev is None
+
+
 class TestClaimAndComplete:
     def test_claim_oldest_queued_first(self, store, clock):
         first, _ = store.submit(spec_of("health"))

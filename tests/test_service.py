@@ -92,8 +92,11 @@ class TestHttpApi:
             )
             assert status == 201 and body["created"] is True
             job_id = body["job"]["job_id"]
-            # The job id is the content address of the normalized spec.
-            assert job_id == job_id_of(normalize_spec(submit_payload()))
+            # The job id is the content address of the normalized spec
+            # plus the code revision the service is running.
+            assert job_id == job_id_of(
+                normalize_spec(submit_payload()), service.store.rev
+            )
 
             job = wait_terminal(url, job_id)
             assert job["state"] == "done"
